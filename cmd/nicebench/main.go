@@ -1,0 +1,164 @@
+// Command nicebench regenerates every figure of the paper's evaluation
+// (§6) on the simulated testbed. Each experiment prints the same series
+// the paper plots; EXPERIMENTS.md records a paper-vs-measured comparison.
+//
+// Usage:
+//
+//	nicebench -experiment all            # everything, paper-scale op counts
+//	nicebench -experiment fig5 -ops 200  # one figure, reduced cost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "all", "which experiment: all, fig4..fig12, tables")
+		ops     = flag.Int("ops", 1000, "operations per measurement point (paper: 1000)")
+		ycsbOps = flag.Int("ycsb-ops", 2000, "YCSB operations per client (paper: 20000)")
+		clients = flag.Int("clients", 10, "YCSB client count (paper: 10)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	pr := cluster.Params{Ops: *ops, Seed: *seed}
+	// "all" covers the paper's figures and tables; the extended
+	// experiments (ycsb-all, scale-out, fabric) run when named.
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true}
+	want := func(name string) bool {
+		if *exp == name {
+			return true
+		}
+		return *exp == "all" && !extended[name]
+	}
+	ran := 0
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "nicebench:", err)
+		os.Exit(1)
+	}
+	show := func(figs ...*cluster.Figure) {
+		for _, f := range figs {
+			f.Fprint(os.Stdout)
+		}
+		ran++
+	}
+
+	if want("fig4") {
+		fig, err := cluster.Fig4RequestRouting(pr)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("fig5") || want("fig6") || want("fig7") {
+		f5, f6, f7, err := cluster.ReplicationFigures(pr)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case *exp == "all":
+			show(f5, f6, f7)
+		case want("fig5"):
+			show(f5)
+		case want("fig6"):
+			show(f6)
+		default:
+			show(f7)
+		}
+	}
+	if want("fig8") {
+		qp := pr
+		if *exp == "all" && qp.Ops > 100 {
+			qp.Ops = 100 // 1 MB x 1000 puts x 8 configs is slow; cap in 'all' mode
+		}
+		a, b, err := cluster.Fig8Quorum(qp)
+		if err != nil {
+			fail(err)
+		}
+		show(a, b)
+	}
+	if want("fig9") {
+		figs, err := cluster.Fig9Consistency(pr)
+		if err != nil {
+			fail(err)
+		}
+		for _, size := range cluster.ConsistencySizes {
+			show(figs[size])
+		}
+	}
+	if want("fig10") {
+		figs, err := cluster.Fig10LoadBalancing(pr)
+		if err != nil {
+			fail(err)
+		}
+		for _, size := range cluster.ConsistencySizes {
+			show(figs[size])
+		}
+	}
+	if want("fig11") {
+		res, err := cluster.Fig11FaultTolerance(cluster.DefaultFTParams())
+		if err != nil {
+			fail(err)
+		}
+		show(res.Figure())
+	}
+	if want("fig12") {
+		fig, err := cluster.Fig12YCSB(cluster.Params{Ops: *ycsbOps, Seed: *seed}, *clients)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("ycsb-all") {
+		fig, err := cluster.YCSBAllWorkloads(cluster.Params{Ops: *ycsbOps, Seed: *seed}, *clients)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("scale-out") {
+		fig, err := cluster.ScaleOutThroughput(pr)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("quorum-read") {
+		fig, err := cluster.QuorumReadOverhead(pr)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("fabric") {
+		fig, err := cluster.FabricComparison(pr)
+		if err != nil {
+			fail(err)
+		}
+		show(fig)
+	}
+	if want("tables") || want("tab-switch") || want("tab-membership") {
+		sw, err := cluster.SwitchScalabilityTable()
+		if err != nil {
+			fail(err)
+		}
+		mem, err := cluster.MembershipScalabilityTable()
+		if err != nil {
+			fail(err)
+		}
+		show(sw, mem)
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables ycsb-all scale-out fabric)\n",
+			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
+		os.Exit(2)
+	}
+}

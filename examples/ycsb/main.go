@@ -1,0 +1,33 @@
+// Ycsb runs the paper's §6.7 comparison end to end: YCSB workloads C
+// (read-only, zipfian) and F (read-modify-write) against NICE and both
+// NOOB baselines, printing aggregate throughput:
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	// Scaled-down run (the paper uses 10 clients x 20K ops; `nicebench
+	// -experiment fig12` reproduces that).
+	pr := cluster.Params{Ops: 1000, Seed: 42}
+	const clients = 10
+
+	fig, err := cluster.Fig12YCSB(pr, clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig.Fprint(os.Stdout)
+
+	niceC, _ := fig.SeriesValue("NICE", "C")
+	twopcF, _ := fig.SeriesValue("NOOB 2PC", "F")
+	niceF, _ := fig.SeriesValue("NICE", "F")
+	fmt.Printf("NICE sustains %.0f ops/s read-only and beats the 2PC baseline %.2fx under read-modify-write\n",
+		niceC, niceF/twopcF)
+}

@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/noob"
+	"repro/internal/sim"
+)
+
+// Params bounds experiment cost. The paper runs 1000 operations per
+// point; benches shrink this to keep `go test -bench` quick.
+type Params struct {
+	Ops  int
+	Seed int64
+}
+
+// DefaultParams mirrors the paper's operation counts.
+func DefaultParams() Params { return Params{Ops: 1000, Seed: 42} }
+
+// ObjectSizes is the x-axis of Figs. 4-6: 4 B to 1 MB.
+var ObjectSizes = []int{4, 1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// Point is one measurement.
+type Point struct {
+	X     string
+	Value float64
+}
+
+// Series is one system's line in a figure.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// Figure is one reproduced result.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Fprint renders the figure as an aligned table, one row per x value.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "   %s\n", n)
+	}
+	if len(f.Series) == 0 {
+		return
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.System)
+	}
+	rows := [][]string{header}
+	for i, pt := range f.Series[0].Points {
+		row := []string{pt.X}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.6g", s.Points[i].Value))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	fmt.Fprintf(w, "   (%s)\n\n", f.YLabel)
+}
+
+// SeriesValue returns series sys at x (for assertions in tests/benches).
+func (f *Figure) SeriesValue(sys, x string) (float64, bool) {
+	for _, s := range f.Series {
+		if s.System != sys {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.X == x {
+				return pt.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// keysInPartition returns n distinct keys hashing into partition part.
+func (d *NICE) keysInPartition(part, n int) []string {
+	return keysIn(d.Space.PartitionOf, part, n)
+}
+
+func keysIn(partOf func(string) int, part, n int) []string {
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("obj-%d", i)
+		if partOf(k) == part {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// noobVariants is the §6.1/§6.2 access-mechanism matrix.
+var noobVariants = []struct {
+	Name   string
+	Access noob.AccessMode
+	GW     noob.GatewayMode
+}{
+	{"NOOB+ROG", noob.ViaGateway, noob.ROG},
+	{"NOOB+RAG", noob.ViaGateway, noob.RAG},
+	{"NOOB+RAC", noob.RAC, noob.RAG},
+}
+
+// driveNICE runs fn as the workload driver and stops the simulation when
+// it returns.
+func driveNICE(d *NICE, fn func(p *sim.Proc)) error {
+	if err := d.Settle(); err != nil {
+		return err
+	}
+	d.Sim.Spawn("exp-driver", func(p *sim.Proc) {
+		fn(p)
+		d.Sim.Stop()
+	})
+	return d.Sim.Run()
+}
+
+func driveNOOB(d *NOOB, fn func(p *sim.Proc)) error {
+	d.Sim.Spawn("exp-driver", func(p *sim.Proc) {
+		fn(p)
+		d.Sim.Stop()
+	})
+	return d.Sim.Run()
+}
+
+// Fig4RequestRouting reproduces Fig. 4: mean get latency vs object size
+// for NICE and the three NOOB access mechanisms.
+func Fig4RequestRouting(pr Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig4",
+		Title:  "Request routing performance (get latency)",
+		XLabel: "size",
+		YLabel: "seconds per get, mean",
+	}
+
+	nice := Series{System: "NICE"}
+	for _, size := range ObjectSizes {
+		opts := DefaultOptions()
+		opts.Seed = pr.Seed
+		d := NewNICE(opts)
+		var h metrics.Histogram
+		err := driveNICE(d, func(p *sim.Proc) {
+			c := d.Clients[0]
+			if _, err := c.Put(p, "routed", "v", size); err != nil {
+				return
+			}
+			for i := 0; i < pr.Ops; i++ {
+				res, err := c.Get(p, "routed")
+				if err != nil || !res.Found {
+					return
+				}
+				h.Add(res.Latency)
+			}
+		})
+		d.Close()
+		if err != nil {
+			return nil, err
+		}
+		if h.N() != pr.Ops {
+			return nil, fmt.Errorf("fig4: NICE size %d completed %d/%d gets", size, h.N(), pr.Ops)
+		}
+		nice.Points = append(nice.Points, Point{X: metrics.FormatSize(size), Value: h.Mean()})
+	}
+	fig.Series = append(fig.Series, nice)
+
+	for _, variant := range noobVariants {
+		s := Series{System: variant.Name}
+		for _, size := range ObjectSizes {
+			opts := DefaultNOOBOptions()
+			opts.Seed = pr.Seed
+			opts.Access = variant.Access
+			opts.Gateway = variant.GW
+			d := NewNOOB(opts)
+			var h metrics.Histogram
+			err := driveNOOB(d, func(p *sim.Proc) {
+				c := d.Clients[0]
+				if _, err := c.Put(p, "routed", "v", size); err != nil {
+					return
+				}
+				for i := 0; i < pr.Ops; i++ {
+					res, err := c.Get(p, "routed")
+					if err != nil || !res.Found {
+						return
+					}
+					h.Add(res.Latency)
+				}
+			})
+			d.Close()
+			if err != nil {
+				return nil, err
+			}
+			if h.N() != pr.Ops {
+				return nil, fmt.Errorf("fig4: %s size %d completed %d/%d gets", variant.Name, size, h.N(), pr.Ops)
+			}
+			s.Points = append(s.Points, Point{X: metrics.FormatSize(size), Value: h.Mean()})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// replicationRun measures puts of one size into a single partition and
+// returns (mean latency, link bytes/op, primary:secondary load ratio).
+type replicationRun struct {
+	lat       float64
+	linkBytes float64
+	loadRatio float64
+}
+
+func nicePutRun(pr Params, size int) (replicationRun, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	d := NewNICE(opts)
+	part := 0
+	keys := d.keysInPartition(part, pr.Ops)
+	var h metrics.Histogram
+	fail := false
+	err := driveNICE(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		d.Net.ResetLinkStats()
+		d.Net.ResetHostStats()
+		for _, k := range keys {
+			res, err := c.Put(p, k, "v", size)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+		p.Sleep(5 * time.Millisecond) // drain trailing acks into the counters
+	})
+	if err == nil && fail {
+		err = fmt.Errorf("nice put run failed (size %d)", size)
+	}
+	if err != nil {
+		d.Close()
+		return replicationRun{}, err
+	}
+	view := d.Service.View(part)
+	primary := d.Stacks[view.Primary().Index].Host().Stats()
+	var secBytes float64
+	for _, r := range view.Replicas[1:] {
+		st := d.Stacks[r.Index].Host().Stats()
+		secBytes += float64(st.BytesRecv + st.BytesSent)
+	}
+	secBytes /= float64(len(view.Replicas) - 1)
+	run := replicationRun{
+		lat:       h.Mean(),
+		linkBytes: float64(d.Net.TotalLinkBytes()) / float64(pr.Ops),
+		loadRatio: float64(primary.BytesRecv+primary.BytesSent) / secBytes,
+	}
+	d.Close()
+	return run, nil
+}
+
+func noobPutRun(pr Params, size int, access noob.AccessMode, gw noob.GatewayMode) (replicationRun, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.Access = access
+	opts.Gateway = gw
+	d := NewNOOB(opts)
+	part := 0
+	keys := keysIn(d.Space.PartitionOf, part, pr.Ops)
+	var h metrics.Histogram
+	fail := false
+	err := driveNOOB(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		d.Net.ResetLinkStats()
+		d.Net.ResetHostStats()
+		for _, k := range keys {
+			res, err := c.Put(p, k, "v", size)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+		p.Sleep(5 * time.Millisecond)
+	})
+	if err == nil && fail {
+		err = fmt.Errorf("noob put run failed (size %d)", size)
+	}
+	if err != nil {
+		d.Close()
+		return replicationRun{}, err
+	}
+	reps := d.Placement.Replicas(part)
+	primary := d.Stacks[reps[0]].Host().Stats()
+	var secBytes float64
+	for _, idx := range reps[1:] {
+		st := d.Stacks[idx].Host().Stats()
+		secBytes += float64(st.BytesRecv + st.BytesSent)
+	}
+	secBytes /= float64(len(reps) - 1)
+	run := replicationRun{
+		lat:       h.Mean(),
+		linkBytes: float64(d.Net.TotalLinkBytes()) / float64(pr.Ops),
+		loadRatio: float64(primary.BytesRecv+primary.BytesSent) / secBytes,
+	}
+	d.Close()
+	return run, nil
+}
+
+// ReplicationFigures reproduces Figs. 5, 6 and 7 from one sweep: put
+// latency, total network link load per put, and the primary:secondary
+// storage-load ratio, for NICE vs the NOOB primary-only design under
+// ROG/RAG/RAC routing.
+func ReplicationFigures(pr Params) (fig5, fig6, fig7 *Figure, err error) {
+	fig5 = &Figure{ID: "fig5", Title: "Replication performance (put latency)", XLabel: "size", YLabel: "seconds per put, mean"}
+	fig6 = &Figure{ID: "fig6", Title: "Network link load per put", XLabel: "size", YLabel: "bytes over all links per put"}
+	fig7 = &Figure{ID: "fig7", Title: "Storage load ratio (primary:secondary)", XLabel: "size", YLabel: "ratio of bytes moved"}
+
+	type sysRunner struct {
+		name string
+		run  func(size int) (replicationRun, error)
+	}
+	systems := []sysRunner{
+		{"NICE", func(size int) (replicationRun, error) { return nicePutRun(pr, size) }},
+	}
+	for _, v := range noobVariants {
+		v := v
+		systems = append(systems, sysRunner{v.Name, func(size int) (replicationRun, error) {
+			return noobPutRun(pr, size, v.Access, v.GW)
+		}})
+	}
+	for _, sys := range systems {
+		s5 := Series{System: sys.name}
+		s6 := Series{System: sys.name}
+		s7 := Series{System: sys.name}
+		for _, size := range ObjectSizes {
+			run, err := sys.run(size)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			x := metrics.FormatSize(size)
+			s5.Points = append(s5.Points, Point{X: x, Value: run.lat})
+			s6.Points = append(s6.Points, Point{X: x, Value: run.linkBytes})
+			s7.Points = append(s7.Points, Point{X: x, Value: run.loadRatio})
+		}
+		fig5.Series = append(fig5.Series, s5)
+		fig6.Series = append(fig6.Series, s6)
+		fig7.Series = append(fig7.Series, s7)
+	}
+	return fig5, fig6, fig7, nil
+}

@@ -1,0 +1,425 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/noob"
+	"repro/internal/sim"
+)
+
+// QuorumSizes is Fig. 8's x-axis.
+var QuorumSizes = []int{1, 3, 5, 7}
+
+// quorumObjSize is Fig. 8's object size (1 MB).
+const quorumObjSize = 1 << 20
+
+// slowReplicas and slowRate reproduce Fig. 8's heterogeneity: three
+// replicas throttled to 50 Mbps.
+const slowReplicas = 3
+
+func slowLink() netsim.LinkConfig { return netsim.Mbps(50, 5*time.Microsecond) }
+
+// Fig8Quorum reproduces Fig. 8: put time (a) and achieved bandwidth (b)
+// under quorum replication, R=7, three slow replicas, quorum size
+// in {1,3,5,7}.
+func Fig8Quorum(pr Params) (figTime, figBW *Figure, err error) {
+	figTime = &Figure{ID: "fig8a", Title: "Quorum replication: put time (R=7, 3 slow replicas)",
+		XLabel: "quorum", YLabel: "seconds per put, mean"}
+	figBW = &Figure{ID: "fig8b", Title: "Quorum replication: bandwidth (R=7, 3 slow replicas)",
+		XLabel: "quorum", YLabel: "MB/s per put"}
+
+	niceT := Series{System: "NICE"}
+	niceB := Series{System: "NICE"}
+	noobT := Series{System: "NOOB"}
+	noobB := Series{System: "NOOB"}
+	for _, k := range QuorumSizes {
+		lat, err := niceQuorumRun(pr, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		niceT.Points = append(niceT.Points, Point{X: fmt.Sprintf("%d", k), Value: lat})
+		niceB.Points = append(niceB.Points, Point{X: fmt.Sprintf("%d", k), Value: float64(quorumObjSize) / lat / 1e6})
+
+		lat, err = noobQuorumRun(pr, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		noobT.Points = append(noobT.Points, Point{X: fmt.Sprintf("%d", k), Value: lat})
+		noobB.Points = append(noobB.Points, Point{X: fmt.Sprintf("%d", k), Value: float64(quorumObjSize) / lat / 1e6})
+	}
+	figTime.Series = []Series{niceT, noobT}
+	figBW.Series = []Series{niceB, noobB}
+	return figTime, figBW, nil
+}
+
+// throttleSecondaries slows the last `slowReplicas` secondaries of
+// partition part.
+func throttle(stacksOf func(int) *netsim.Host, replicas []int) {
+	for _, idx := range replicas[len(replicas)-slowReplicas:] {
+		stacksOf(idx).Port().Link().SetConfig(slowLink())
+	}
+}
+
+func niceQuorumRun(pr Params, k int) (float64, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	opts.R = 7
+	opts.QuorumK = k
+	opts.OpTimeout = 5 * time.Second
+	d := NewNICE(opts)
+	part := 0
+	view := d.Service.View(part)
+	var reps []int
+	for _, r := range view.Replicas {
+		reps = append(reps, r.Index)
+	}
+	throttle(func(i int) *netsim.Host { return d.Stacks[i].Host() }, reps)
+	keys := d.keysInPartition(part, pr.Ops)
+	var h metrics.Histogram
+	fail := false
+	err := driveNICE(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		for _, key := range keys {
+			res, err := c.Put(p, key, "v", quorumObjSize)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if fail {
+		return 0, fmt.Errorf("fig8: NICE quorum %d put failed", k)
+	}
+	return h.Mean(), nil
+}
+
+func noobQuorumRun(pr Params, k int) (float64, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.R = 7
+	opts.QuorumK = k
+	d := NewNOOB(opts)
+	part := 0
+	reps := d.Placement.Replicas(part)
+	throttle(func(i int) *netsim.Host { return d.Stacks[i].Host() }, reps)
+	keys := keysIn(d.Space.PartitionOf, part, pr.Ops)
+	var h metrics.Histogram
+	fail := false
+	err := driveNOOB(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		for _, key := range keys {
+			res, err := c.Put(p, key, "v", quorumObjSize)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if fail {
+		return 0, fmt.Errorf("fig8: NOOB quorum %d put failed", k)
+	}
+	return h.Mean(), nil
+}
+
+// ReplicationLevels is Fig. 9/10's x-axis.
+var ReplicationLevels = []int{1, 3, 5, 7, 9}
+
+// ConsistencySizes are Fig. 9/10's two object sizes.
+var ConsistencySizes = []int{4, 1 << 20}
+
+// Fig9Consistency reproduces Fig. 9: put time vs replication level for
+// NICE, NOOB primary-only, and NOOB 2PC (RAC routing), at 4 B and 1 MB.
+func Fig9Consistency(pr Params) (map[int]*Figure, error) {
+	out := make(map[int]*Figure)
+	for _, size := range ConsistencySizes {
+		fig := &Figure{
+			ID:     fmt.Sprintf("fig9-%s", metrics.FormatSize(size)),
+			Title:  fmt.Sprintf("Consistency mechanism: put time, %s objects", metrics.FormatSize(size)),
+			XLabel: "R",
+			YLabel: "seconds per put, mean",
+		}
+		nice := Series{System: "NICE"}
+		prim := Series{System: "NOOB primary-only"}
+		twopc := Series{System: "NOOB 2PC"}
+		for _, r := range ReplicationLevels {
+			x := fmt.Sprintf("%d", r)
+
+			lat, err := nicePutLatency(pr, r, size)
+			if err != nil {
+				return nil, err
+			}
+			nice.Points = append(nice.Points, Point{X: x, Value: lat})
+
+			lat, err = noobPutLatency(pr, r, size, noob.PrimaryOnly)
+			if err != nil {
+				return nil, err
+			}
+			prim.Points = append(prim.Points, Point{X: x, Value: lat})
+
+			lat, err = noobPutLatency(pr, r, size, noob.TwoPC)
+			if err != nil {
+				return nil, err
+			}
+			twopc.Points = append(twopc.Points, Point{X: x, Value: lat})
+		}
+		fig.Series = []Series{nice, prim, twopc}
+		out[size] = fig
+	}
+	return out, nil
+}
+
+func nicePutLatency(pr Params, r, size int) (float64, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	opts.R = r
+	d := NewNICE(opts)
+	var h metrics.Histogram
+	fail := false
+	err := driveNICE(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		for i := 0; i < pr.Ops; i++ {
+			res, err := c.Put(p, fmt.Sprintf("k-%d", i), "v", size)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if fail {
+		return 0, fmt.Errorf("fig9: NICE R=%d size=%d put failed", r, size)
+	}
+	return h.Mean(), nil
+}
+
+func noobPutLatency(pr Params, r, size int, cons noob.Consistency) (float64, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.R = r
+	opts.Consistency = cons
+	d := NewNOOB(opts)
+	var h metrics.Histogram
+	fail := false
+	err := driveNOOB(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		for i := 0; i < pr.Ops; i++ {
+			res, err := c.Put(p, fmt.Sprintf("k-%d", i), "v", size)
+			if err != nil {
+				fail = true
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if fail {
+		return 0, fmt.Errorf("fig9: NOOB R=%d size=%d put failed", r, size)
+	}
+	return h.Mean(), nil
+}
+
+// Fig10LoadBalancing reproduces Fig. 10: weak scaling on one hot key —
+// one put client plus R-1 get clients, all hammering the same object,
+// with clients scaled alongside the replication level. The companion
+// "get-only" series is the paper's line marker (workload without the put
+// client). Values are mean operation latencies.
+func Fig10LoadBalancing(pr Params) (map[int]*Figure, error) {
+	out := make(map[int]*Figure)
+	for _, size := range ConsistencySizes {
+		fig := &Figure{
+			ID:     fmt.Sprintf("fig10-%s", metrics.FormatSize(size)),
+			Title:  fmt.Sprintf("Load balancing weak scaling, %s objects", metrics.FormatSize(size)),
+			XLabel: "R (= clients)",
+			YLabel: "seconds per op, mean",
+		}
+		systems := []struct {
+			name    string
+			getOnly bool
+		}{
+			{"NICE", false}, {"NICE get-only", true},
+			{"NOOB primary-only", false}, {"NOOB primary-only get-only", true},
+			{"NOOB 2PC", false}, {"NOOB 2PC get-only", true},
+		}
+		series := make([]Series, len(systems))
+		for i, sys := range systems {
+			series[i].System = sys.name
+		}
+		for _, r := range ReplicationLevels {
+			x := fmt.Sprintf("%d", r)
+			for i, sys := range systems {
+				var lat float64
+				var err error
+				switch {
+				case strings.HasPrefix(sys.name, "NICE"):
+					lat, err = niceHotKeyRun(pr, r, size, sys.getOnly)
+				case strings.HasPrefix(sys.name, "NOOB primary-only"):
+					lat, err = noobHotKeyRun(pr, r, size, noob.PrimaryOnly, sys.getOnly)
+				default:
+					lat, err = noobHotKeyRun(pr, r, size, noob.TwoPC, sys.getOnly)
+				}
+				if err != nil {
+					return nil, err
+				}
+				series[i].Points = append(series[i].Points, Point{X: x, Value: lat})
+			}
+		}
+		fig.Series = series
+		fig.Notes = append(fig.Notes,
+			"get-only rows are the paper's line markers (no put client); R=1 get-only has no clients and reads 0")
+		out[size] = fig
+	}
+	return out, nil
+}
+
+// hotKeyLoad runs the Fig. 10 workload given started clients: client 0
+// puts (unless getOnly), the rest get, everyone pr.Ops times.
+func hotKeyRun(s *sim.Simulator, put func(p *sim.Proc) (sim.Time, error),
+	gets []func(p *sim.Proc) (sim.Time, error), ops int) (float64, error) {
+
+	var h metrics.Histogram
+	var firstErr error
+	g := sim.NewGroup(s)
+	runner := func(name string, op func(p *sim.Proc) (sim.Time, error)) {
+		g.Add(1)
+		s.Spawn(name, func(p *sim.Proc) {
+			defer g.Done()
+			for i := 0; i < ops; i++ {
+				lat, err := op(p)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				h.Add(lat)
+			}
+		})
+	}
+	if put != nil {
+		runner("putter", put)
+	}
+	for i, get := range gets {
+		runner(fmt.Sprintf("getter%d", i), get)
+	}
+	done := false
+	s.Spawn("join", func(p *sim.Proc) {
+		g.Wait(p)
+		done = true
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if !done {
+		return 0, fmt.Errorf("hot-key workload did not finish")
+	}
+	if h.N() == 0 {
+		return 0, nil
+	}
+	return h.Mean(), nil
+}
+
+func niceHotKeyRun(pr Params, r, size int, getOnly bool) (float64, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	opts.R = r
+	opts.Clients = r
+	opts.LoadBalance = true
+	d := NewNICE(opts)
+	const key = "hot"
+	// Seed the object and settle.
+	err := driveNICE(d, func(p *sim.Proc) {
+		if _, err := d.Clients[0].Put(p, key, "v", size); err != nil {
+			panic(fmt.Sprintf("fig10 seed failed: %v", err))
+		}
+	})
+	if err != nil {
+		d.Close()
+		return 0, err
+	}
+	var put func(p *sim.Proc) (sim.Time, error)
+	if !getOnly {
+		put = func(p *sim.Proc) (sim.Time, error) {
+			res, err := d.Clients[0].Put(p, key, "v", size)
+			return res.Latency, err
+		}
+	}
+	var gets []func(p *sim.Proc) (sim.Time, error)
+	for i := 1; i < r; i++ {
+		c := d.Clients[i]
+		gets = append(gets, func(p *sim.Proc) (sim.Time, error) {
+			res, err := c.Get(p, key)
+			return res.Latency, err
+		})
+	}
+	lat, err := hotKeyRun(d.Sim, put, gets, pr.Ops)
+	d.Close()
+	return lat, err
+}
+
+func noobHotKeyRun(pr Params, r, size int, cons noob.Consistency, getOnly bool) (float64, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.R = r
+	opts.Clients = r
+	opts.Consistency = cons
+	if cons == noob.TwoPC {
+		// The 2PC deployment load balances reads via the RAG gateway.
+		opts.Access = noob.ViaGateway
+		opts.Gateway = noob.RAG
+		opts.Gets = noob.GetRoundRobin
+	}
+	d := NewNOOB(opts)
+	const key = "hot"
+	err := driveNOOB(d, func(p *sim.Proc) {
+		if _, err := d.Clients[0].Put(p, key, "v", size); err != nil {
+			panic(fmt.Sprintf("fig10 noob seed failed: %v", err))
+		}
+	})
+	if err != nil {
+		d.Close()
+		return 0, err
+	}
+	var put func(p *sim.Proc) (sim.Time, error)
+	if !getOnly {
+		put = func(p *sim.Proc) (sim.Time, error) {
+			res, err := d.Clients[0].Put(p, key, "v", size)
+			return res.Latency, err
+		}
+	}
+	var gets []func(p *sim.Proc) (sim.Time, error)
+	for i := 1; i < r; i++ {
+		c := d.Clients[i]
+		gets = append(gets, func(p *sim.Proc) (sim.Time, error) {
+			res, err := c.Get(p, key)
+			return res.Latency, err
+		})
+	}
+	lat, err := hotKeyRun(d.Sim, put, gets, pr.Ops)
+	d.Close()
+	return lat, err
+}

@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/noob"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FTParams shapes the Fig. 11 scenario: a secondary fails at FailAt and
+// rejoins at RejoinAt; three clients run a 20/80 put/get mix on one
+// partition with 1 KB objects.
+type FTParams struct {
+	Duration  sim.Time
+	FailAt    sim.Time
+	RejoinAt  sim.Time
+	Clients   int
+	ThinkTime sim.Time // pause between client operations
+	Seed      int64
+}
+
+// DefaultFTParams mirrors the paper's 120-second run.
+func DefaultFTParams() FTParams {
+	return FTParams{
+		Duration:  120 * time.Second,
+		FailAt:    30 * time.Second,
+		RejoinAt:  90 * time.Second,
+		Clients:   3,
+		ThinkTime: 5 * time.Millisecond,
+		Seed:      42,
+	}
+}
+
+// FTResult is the Fig. 11 timeline.
+type FTResult struct {
+	PutRate  []float64 // ops/sec per one-second bucket
+	GetRate  []float64
+	FailRate []float64 // failed put attempts/sec
+	Events   []string  // controller membership trace
+}
+
+// Figure renders the timeline as a figure (one row per second).
+func (r *FTResult) Figure() *Figure {
+	fig := &Figure{
+		ID:     "fig11",
+		Title:  "Fault tolerance: ops/sec timeline (secondary fails at 30s, rejoins at 90s)",
+		XLabel: "second",
+		YLabel: "operations per second",
+		Notes:  r.Events,
+	}
+	puts := Series{System: "puts/s"}
+	gets := Series{System: "gets/s"}
+	fails := Series{System: "failed-puts/s"}
+	n := len(r.PutRate)
+	if len(r.GetRate) > n {
+		n = len(r.GetRate)
+	}
+	at := func(v []float64, i int) float64 {
+		if i < len(v) {
+			return v[i]
+		}
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		x := fmt.Sprintf("%d", i)
+		puts.Points = append(puts.Points, Point{X: x, Value: at(r.PutRate, i)})
+		gets.Points = append(gets.Points, Point{X: x, Value: at(r.GetRate, i)})
+		fails.Points = append(fails.Points, Point{X: x, Value: at(r.FailRate, i)})
+	}
+	fig.Series = []Series{puts, gets, fails}
+	return fig
+}
+
+// Fig11FaultTolerance reproduces Fig. 11 on a NICE deployment.
+func Fig11FaultTolerance(fp FTParams) (*FTResult, error) {
+	opts := DefaultOptions()
+	opts.Seed = fp.Seed
+	opts.Clients = fp.Clients
+	opts.LoadBalance = true // gets spread over replicas, including the handoff
+	d := NewNICE(opts)
+
+	res := &FTResult{}
+	d.Service.SetTrace(func(f string, a ...any) {
+		res.Events = append(res.Events, fmt.Sprintf(f, a...))
+	})
+	if err := d.Settle(); err != nil {
+		d.Close()
+		return nil, err
+	}
+
+	const part = 0
+	view := d.Service.View(part)
+	victim := view.Replicas[1].Index // a secondary
+	keys := d.keysInPartition(part, 200)
+
+	puts := metrics.NewTimeSeries(time.Second)
+	gets := metrics.NewTimeSeries(time.Second)
+	fails := metrics.NewTimeSeries(time.Second)
+
+	for i := 0; i < fp.Clients; i++ {
+		c := d.Clients[i]
+		rng := rand.New(rand.NewSource(fp.Seed + int64(i)))
+		d.Sim.Spawn(fmt.Sprintf("ft-client%d", i), func(p *sim.Proc) {
+			if _, err := c.Put(p, keys[0], 0, 1<<10); err != nil {
+				return
+			}
+			for p.Now() < fp.Duration {
+				k := keys[rng.Intn(len(keys))]
+				if rng.Float64() < 0.2 {
+					if _, err := c.Put(p, k, 1, 1<<10); err != nil {
+						fails.Add(p.Now(), 1)
+					} else {
+						puts.Add(p.Now(), 1)
+					}
+				} else {
+					if _, err := c.Get(p, k); err == nil {
+						gets.Add(p.Now(), 1)
+					}
+				}
+				p.Sleep(fp.ThinkTime)
+			}
+		})
+	}
+	d.Sim.At(fp.FailAt, func() { d.Nodes[victim].Crash() })
+	d.Sim.At(fp.RejoinAt, func() { d.Nodes[victim].Restart() })
+	d.Sim.SetLimit(fp.Duration + time.Second)
+	if err := d.Sim.Run(); err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.Close()
+	res.PutRate = puts.Values()
+	res.GetRate = gets.Values()
+	res.FailRate = fails.Values()
+	return res, nil
+}
+
+// YCSBWorkloads are the paper's §6.7 choices.
+var YCSBWorkloads = []string{"C", "F"}
+
+// YCSBRecords is the preloaded record count (YCSB default).
+const YCSBRecords = 1000
+
+// Fig12YCSB reproduces Fig. 12: aggregate throughput under YCSB C and F
+// for NICE, NOOB primary-only, and NOOB 2PC. pr.Ops is per client;
+// the paper uses 10 clients x 20K operations on 1 KB objects.
+func Fig12YCSB(pr Params, clients int) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("YCSB (zipfian, 1KB objects, %d clients x %d ops)", clients, pr.Ops),
+		XLabel: "workload",
+		YLabel: "operations per second, aggregate",
+	}
+	nice := Series{System: "NICE"}
+	prim := Series{System: "NOOB primary-only"}
+	twopc := Series{System: "NOOB 2PC"}
+	for _, wl := range YCSBWorkloads {
+		tput, err := niceYCSB(pr, clients, wl)
+		if err != nil {
+			return nil, err
+		}
+		nice.Points = append(nice.Points, Point{X: wl, Value: tput})
+
+		tput, err = noobYCSB(pr, clients, wl, noob.PrimaryOnly)
+		if err != nil {
+			return nil, err
+		}
+		prim.Points = append(prim.Points, Point{X: wl, Value: tput})
+
+		tput, err = noobYCSB(pr, clients, wl, noob.TwoPC)
+		if err != nil {
+			return nil, err
+		}
+		twopc.Points = append(twopc.Points, Point{X: wl, Value: tput})
+	}
+	fig.Series = []Series{nice, prim, twopc}
+	return fig, nil
+}
+
+// ycsbDriver runs the workload on generic put/get closures and returns
+// aggregate throughput (ops/sec of simulated time).
+func ycsbDriver(s *sim.Simulator, clients int, pr Params, wlName string,
+	put func(c int, p *sim.Proc, key string, size int) error,
+	get func(c int, p *sim.Proc, key string) error,
+	load func(p *sim.Proc, key string, size int) error) (float64, error) {
+
+	// Load phase.
+	w := workload.MustDefine(wlName, YCSBRecords)
+	loadErr := error(nil)
+	s.Spawn("ycsb-load", func(p *sim.Proc) {
+		for i := 0; i < YCSBRecords; i++ {
+			if err := load(p, w.Key(i), w.ValueSize); err != nil {
+				loadErr = err
+				return
+			}
+		}
+		s.Stop()
+	})
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if loadErr != nil {
+		return 0, loadErr
+	}
+
+	// Run phase.
+	start := s.Now()
+	var opErr error
+	completed := 0
+	g := sim.NewGroup(s)
+	for i := 0; i < clients; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(pr.Seed + int64(i)))
+		cw := workload.MustDefine(wlName, YCSBRecords)
+		g.Add(1)
+		s.Spawn(fmt.Sprintf("ycsb-client%d", i), func(p *sim.Proc) {
+			defer g.Done()
+			for n := 0; n < pr.Ops; n++ {
+				op := cw.Next(rng)
+				var err error
+				switch op.Type {
+				case workload.Read:
+					err = get(i, p, op.Key)
+				case workload.Update, workload.Insert:
+					err = put(i, p, op.Key, cw.ValueSize)
+				case workload.ReadModifyWrite:
+					if err = get(i, p, op.Key); err == nil {
+						err = put(i, p, op.Key, cw.ValueSize)
+					}
+				}
+				if err != nil {
+					if opErr == nil {
+						opErr = err
+					}
+					return
+				}
+				completed++
+			}
+		})
+	}
+	s.Spawn("ycsb-join", func(p *sim.Proc) { g.Wait(p); s.Stop() })
+	if err := s.Run(); err != nil {
+		return 0, err
+	}
+	if opErr != nil {
+		return 0, opErr
+	}
+	want := clients * pr.Ops
+	if completed != want {
+		return 0, fmt.Errorf("ycsb %s: completed %d/%d ops", wlName, completed, want)
+	}
+	elapsed := (s.Now() - start).Seconds()
+	return float64(completed) / elapsed, nil
+}
+
+func niceYCSB(pr Params, clients int, wlName string) (float64, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	opts.Clients = clients
+	opts.LoadBalance = true
+	d := NewNICE(opts)
+	if err := d.Settle(); err != nil {
+		d.Close()
+		return 0, err
+	}
+	tput, err := ycsbDriver(d.Sim, clients, pr, wlName,
+		func(c int, p *sim.Proc, key string, size int) error {
+			_, err := d.Clients[c].Put(p, key, "v", size)
+			return err
+		},
+		func(c int, p *sim.Proc, key string) error {
+			_, err := d.Clients[c].Get(p, key)
+			return err
+		},
+		func(p *sim.Proc, key string, size int) error {
+			_, err := d.Clients[0].Put(p, key, "v", size)
+			return err
+		})
+	d.Close()
+	return tput, err
+}
+
+func noobYCSB(pr Params, clients int, wlName string, cons noob.Consistency) (float64, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.Clients = clients
+	opts.Consistency = cons
+	if cons == noob.TwoPC {
+		// The 2PC deployment load balances reads through a replica-aware
+		// gateway (§6.5, §6.7: "added load-balancing latency").
+		opts.Access = noob.ViaGateway
+		opts.Gateway = noob.RAG
+		opts.Gets = noob.GetRoundRobin
+	}
+	d := NewNOOB(opts)
+	tput, err := ycsbDriver(d.Sim, clients, pr, wlName,
+		func(c int, p *sim.Proc, key string, size int) error {
+			_, err := d.Clients[c].Put(p, key, "v", size)
+			return err
+		},
+		func(c int, p *sim.Proc, key string) error {
+			_, err := d.Clients[c].Get(p, key)
+			return err
+		},
+		func(p *sim.Proc, key string, size int) error {
+			_, err := d.Clients[0].Put(p, key, "v", size)
+			return err
+		})
+	d.Close()
+	return tput, err
+}
+
+// SwitchScalabilityTable reproduces the §4.6 arithmetic with measured
+// flow-table occupancy: entries per partition with and without load
+// balancing, and the node count a 128K-entry switch supports.
+func SwitchScalabilityTable() (*Figure, error) {
+	fig := &Figure{
+		ID:     "tab-switch",
+		Title:  "Switch scalability (§4.6): forwarding entries per partition",
+		XLabel: "config",
+		YLabel: "entries (measured) / max nodes at 128K entries",
+	}
+	const tableCapacity = 128 * 1024
+	entries := Series{System: "entries/partition"}
+	maxNodes := Series{System: "max nodes @128K"}
+	for _, lb := range []bool{false, true} {
+		opts := DefaultOptions()
+		opts.LoadBalance = lb
+		d := NewNICE(opts)
+		if err := d.Settle(); err != nil {
+			d.Close()
+			return nil, err
+		}
+		per := d.Service.Stats().RulesPerPart
+		label := "no LB"
+		if lb {
+			label = fmt.Sprintf("LB, R=%d", opts.R)
+		}
+		entries.Points = append(entries.Points, Point{X: label, Value: float64(per)})
+		maxNodes.Points = append(maxNodes.Points, Point{X: label, Value: float64(tableCapacity / per)})
+		d.Close()
+	}
+	fig.Series = []Series{entries, maxNodes}
+	fig.Notes = append(fig.Notes,
+		"paper: 2N entries without LB (64K nodes), (R+1)N with LB (32K nodes at R=3);",
+		"this implementation keeps the default primary rule alongside the R division rules, hence R+2")
+	return fig, nil
+}
+
+// MembershipScalabilityTable measures the §4.1 claim: the cost of one
+// membership change in messages, as the cluster grows. NICE needs O(S)
+// switch updates + O(R) node messages; NOOB full membership needs O(N).
+func MembershipScalabilityTable() (*Figure, error) {
+	fig := &Figure{
+		ID:     "tab-membership",
+		Title:  "Membership maintenance cost per node failure",
+		XLabel: "N",
+		YLabel: "messages",
+	}
+	niceNode := Series{System: "NICE node msgs"}
+	niceFlow := Series{System: "NICE switch msgs"}
+	noobMsgs := Series{System: "NOOB msgs (full membership)"}
+	gossipMsgs := Series{System: "NOOB msgs (epidemic)"}
+	gossipRounds := Series{System: "NOOB gossip rounds"}
+	for _, n := range []int{5, 15, 30} {
+		opts := DefaultOptions()
+		opts.Nodes = n
+		opts.Heartbeat = 100 * time.Millisecond
+		d := NewNICE(opts)
+		if err := d.Settle(); err != nil {
+			d.Close()
+			return nil, err
+		}
+		beforeMsgs := d.Service.Stats().NodeMsgs
+		beforeFlow := d.Core.Stats().FlowMods + d.Core.Stats().GroupMods
+		d.Nodes[1].Crash()
+		if err := d.Sim.RunUntil(d.Sim.Now() + time.Second); err != nil {
+			d.Close()
+			return nil, err
+		}
+		st := d.Service.Stats()
+		if st.Failures != 1 {
+			d.Close()
+			return nil, fmt.Errorf("membership table: failure not detected at N=%d", n)
+		}
+		x := fmt.Sprintf("%d", n)
+		niceNode.Points = append(niceNode.Points, Point{X: x, Value: float64(st.NodeMsgs - beforeMsgs)})
+		niceFlow.Points = append(niceFlow.Points, Point{X: x,
+			Value: float64(d.Core.Stats().FlowMods + d.Core.Stats().GroupMods - beforeFlow)})
+		d.Close()
+
+		nopts := DefaultNOOBOptions()
+		nopts.Nodes = n
+		nd := NewNOOB(nopts)
+		nd.Member.BroadcastChange([]int{1})
+		noobMsgs.Points = append(noobMsgs.Points, Point{X: x, Value: float64(nd.Member.MsgsSent())})
+		nd.Close()
+
+		msgs, rounds, err := gossipDissemination(n)
+		if err != nil {
+			return nil, err
+		}
+		gossipMsgs.Points = append(gossipMsgs.Points, Point{X: x, Value: float64(msgs)})
+		gossipRounds.Points = append(gossipRounds.Points, Point{X: x, Value: float64(rounds)})
+	}
+	fig.Series = []Series{niceNode, niceFlow, noobMsgs, gossipMsgs, gossipRounds}
+	fig.Notes = append(fig.Notes,
+		"NICE columns must stay flat as N grows; the full-membership column grows linearly;",
+		"the epidemic alternative ([41]) converges in O(log N) rounds but sends over O(N) messages")
+	return fig, nil
+}
+
+// gossipDissemination measures one epidemic membership change at scale
+// n: total messages and the simulated rounds until every member knows.
+func gossipDissemination(n int) (msgs int64, rounds int, err error) {
+	nopts := DefaultNOOBOptions()
+	nopts.Nodes = n
+	d := NewNOOB(nopts)
+	defer d.Close()
+	var ips []netsim.IP
+	for _, st := range d.Stacks {
+		ips = append(ips, st.IP())
+	}
+	cfg := noob.DefaultGossipConfig()
+	var members []*noob.GossipMember
+	for i, st := range d.Stacks {
+		g := noob.NewGossipMember(st, cfg, i, ips, 7100)
+		g.Start()
+		members = append(members, g)
+	}
+	members[0].Announce([]int{1})
+	deadline := d.Sim.Now()
+	allKnow := -1
+	for step := 1; step <= 4*len(members); step++ {
+		deadline += cfg.Period
+		if err := d.Sim.RunUntil(deadline); err != nil {
+			return 0, 0, err
+		}
+		know := 0
+		for _, g := range members {
+			if g.Epoch() >= 1 {
+				know++
+			}
+		}
+		if know == n {
+			allKnow = step
+			break
+		}
+	}
+	if allKnow < 0 {
+		return 0, 0, fmt.Errorf("gossip did not converge at N=%d", n)
+	}
+	// Drain the tail of the epidemic so the message count is final.
+	if err := d.Sim.RunUntil(d.Sim.Now() + 5*time.Second); err != nil {
+		return 0, 0, err
+	}
+	for _, g := range members {
+		msgs += g.MsgsSent()
+	}
+	return msgs, allKnow, nil
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// NewNICELeafSpine builds a NICE deployment on a two-tier fabric:
+// opts.Leaves ToR switches under one spine, with storage nodes, the
+// metadata host and clients distributed round-robin across the leaves.
+// It exercises the §6 claim that NICE extends to multi-switch platforms:
+// the controller installs rewrite rules at every leaf and loop-free
+// multicast trees across the fabric.
+func NewNICELeafSpine(opts Options, leaves int) *NICE {
+	if leaves < 2 {
+		leaves = 2
+	}
+	s := sim.New(opts.Seed)
+	nw := netsim.NewNetwork(s)
+	d := &NICE{Opts: opts, Sim: s, Net: nw, Space: ring.NewSpace(opts.Nodes)}
+
+	// Hosts per leaf: nodes + meta + clients, rounded up.
+	perLeaf := (opts.Nodes+opts.Clients+1+leaves-1)/leaves + 1
+
+	spineSw := nw.NewSwitch("spine", leaves, opts.SwitchLatency)
+	spine := openflow.Attach(spineSw, opts.CtrlDelay)
+	d.Core = spine
+	topo := controller.NewLeafSpine(spine)
+
+	type leafInfo struct {
+		dp   *openflow.Datapath
+		next int // next free host port (port 0 = uplink)
+	}
+	leafDPs := make([]*leafInfo, leaves)
+	for i := 0; i < leaves; i++ {
+		sw := nw.NewSwitch("leaf"+itoa(i), perLeaf+1, opts.SwitchLatency)
+		dp := openflow.Attach(sw, opts.CtrlDelay)
+		nw.Connect(sw.Port(0), spineSw.Port(i), opts.Link)
+		topo.AddLeaf(dp, 0, i)
+		leafDPs[i] = &leafInfo{dp: dp, next: 1}
+	}
+	hostCount := 0
+	place := func(h *netsim.Host) {
+		li := leafDPs[hostCount%leaves]
+		hostCount++
+		nw.Connect(h.Port(), li.dp.Switch().Port(li.next), opts.Link)
+		topo.AttachHost(li.dp, h.IP(), li.next)
+		li.next++
+	}
+
+	var addrs []controller.NodeAddr
+	for i := 0; i < opts.Nodes; i++ {
+		h := nw.NewHost("node"+itoa(i), netsim.IPv4(10, 0, byte(i>>8), byte(i&0xff)).Add(1))
+		place(h)
+		st := transport.NewStack(h)
+		d.Stacks = append(d.Stacks, st)
+		addrs = append(addrs, controller.NodeAddr{
+			Index: i, IP: h.IP(), MAC: h.MAC(), DataPort: DataPort, CtrlPort: CtrlPort,
+		})
+	}
+	metaHost := nw.NewHost("meta", netsim.MustParseIP("10.254.0.1"))
+	place(metaHost)
+	metaStack := transport.NewStack(metaHost)
+	d.MetaHost = metaHost
+	for i := 0; i < opts.Clients; i++ {
+		ip := clientIP(i, opts.R)
+		if i < len(opts.ClientIPs) {
+			ip = opts.ClientIPs[i]
+		}
+		h := nw.NewHost("client"+itoa(i), ip)
+		place(h)
+		d.CStacks = append(d.CStacks, transport.NewStack(h))
+	}
+
+	cfg := controller.DefaultConfig()
+	cfg.Placement = ring.NewPlacement(opts.Nodes, opts.R)
+	cfg.Unicast = ring.MustVRing(netsim.MustParsePrefix("10.10.0.0/16"), opts.Nodes, 8)
+	cfg.Multicast = ring.MustVRing(netsim.MustParsePrefix("10.11.0.0/16"), opts.Nodes, 8)
+	cfg.GroupBase = netsim.MustParseIP("239.0.0.0")
+	cfg.HeartbeatEvery = opts.Heartbeat
+	cfg.LoadBalance = opts.LoadBalance
+	cfg.DynamicLB = opts.DynamicLB
+	cfg.ClientSpace = netsim.MustParsePrefix("192.168.0.0/16")
+	cfg.CtrlPort = MetaPort
+	d.Service = controller.New(metaStack, topo, cfg, addrs)
+	d.Service.Start()
+	for _, cst := range d.CStacks {
+		d.Service.RegisterHost(cst.IP(), cst.Host().MAC())
+	}
+
+	for i := 0; i < opts.Nodes; i++ {
+		ncfg := core.DefaultNodeConfig()
+		ncfg.Addr = addrs[i]
+		ncfg.Meta = metaStack.IP()
+		ncfg.MetaPort = MetaPort
+		ncfg.Space = d.Space
+		ncfg.HeartbeatEvery = opts.Heartbeat
+		ncfg.Disk = opts.Disk
+		ncfg.QuorumK = opts.QuorumK
+		ncfg.CPUPerOp = opts.CPUPerOp
+		node := core.NewNode(d.Stacks[i], ncfg)
+		node.Start()
+		d.Nodes = append(d.Nodes, node)
+	}
+	for i := 0; i < opts.Clients; i++ {
+		ccfg := core.DefaultClientConfig()
+		ccfg.Unicast = cfg.Unicast
+		ccfg.Multicast = cfg.Multicast
+		ccfg.DataPort = DataPort
+		ccfg.R = opts.R
+		ccfg.QuorumK = opts.QuorumK
+		ccfg.OpTimeout = opts.OpTimeout
+		ccfg.RetryWait = opts.RetryWait
+		cl := core.NewClient(d.CStacks[i], ccfg)
+		cl.Start()
+		d.Clients = append(d.Clients, cl)
+	}
+	return d
+}

@@ -1,0 +1,283 @@
+// Package cluster assembles complete simulated deployments — fabric,
+// controller, storage nodes, clients — for both NICEKV and the NOOB
+// baseline, and hosts the experiment runners that regenerate every figure
+// of the paper's evaluation (§6).
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Well-known ports shared by both systems.
+const (
+	DataPort = 7000
+	CtrlPort = 9001
+	MetaPort = 9000
+)
+
+// Options describes a deployment, defaulting to the paper's platform
+// (§6): 1 Gbps links, one OpenFlow switch, replication level 3,
+// 15 storage nodes, SSD-backed stores.
+type Options struct {
+	Nodes         int
+	R             int
+	Clients       int
+	LoadBalance   bool
+	Seed          int64
+	Link          netsim.LinkConfig
+	SwitchLatency sim.Time
+	CtrlDelay     sim.Time
+	Disk          kvstore.DiskConfig
+	Heartbeat     sim.Time
+	OpTimeout     sim.Time
+	RetryWait     sim.Time
+	EdgeOVS       bool // client-side Open vSwitch deployment (§5.1)
+	EdgeLatency   sim.Time
+	QuorumK       int      // any-k puts (0 = all replicas)
+	CPUPerOp      sim.Time // per-request node processing cost
+	Standby       bool     // deploy a hot-standby metadata replica (§4.1)
+	DynamicLB     bool     // workload-informed division rebalancing (§8)
+	LazyMapping   bool     // install vring rules on first packet (§5)
+	MappingIdle   sim.Time // idle expiry for vring rules (0 = never)
+	// ClientIPs overrides the default client placement (useful to pin
+	// clients into specific load-balancing divisions).
+	ClientIPs []netsim.IP
+}
+
+// probeCPU, when non-zero, overrides CPUPerOp (test instrumentation).
+var probeCPU sim.Time
+
+// DefaultOptions mirrors the paper's deployment configuration.
+func DefaultOptions() Options {
+	return Options{
+		Nodes:         15,
+		R:             3,
+		Clients:       1,
+		Seed:          1,
+		Link:          netsim.Gbps(1, 5*time.Microsecond),
+		SwitchLatency: 2 * time.Microsecond,
+		CtrlDelay:     200 * time.Microsecond,
+		Disk:          kvstore.SSD(),
+		Heartbeat:     500 * time.Millisecond,
+		OpTimeout:     time.Second,
+		RetryWait:     2 * time.Second,
+		EdgeLatency:   10 * time.Microsecond,
+		CPUPerOp:      100 * time.Microsecond,
+	}
+}
+
+// clientIP places client i inside load-balancing division i mod R, so a
+// weak-scaling experiment exercises every replica (§4.5).
+func clientIP(i, r int) netsim.IP {
+	bits := 0
+	for 1<<bits < r {
+		bits++
+	}
+	width := uint32(1) << (16 - bits) // inside 192.168.0.0/16
+	div := uint32(i % max(r, 1))
+	off := uint32(i/max(r, 1)) + 1
+	return netsim.MustParseIP("192.168.0.0").Add(div*width + off)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NICE is a complete NICEKV deployment.
+type NICE struct {
+	Opts     Options
+	Sim      *sim.Simulator
+	Net      *netsim.Network
+	Core     *openflow.Datapath
+	Service  *controller.Service
+	Standby  *controller.Standby // nil unless Opts.Standby
+	MetaHost *netsim.Host
+	Nodes    []*core.Node
+	Stacks   []*transport.Stack // node stacks, index-aligned with Nodes
+	Clients  []*core.Client
+	CStacks  []*transport.Stack
+	Space    ring.Space
+}
+
+// NewNICE builds and boots a NICE deployment; call Settle before issuing
+// traffic so bootstrap rules and views are in place.
+func NewNICE(opts Options) *NICE {
+	if probeCPU > 0 {
+		opts.CPUPerOp = probeCPU
+	}
+	s := sim.New(opts.Seed)
+	nw := netsim.NewNetwork(s)
+	d := &NICE{Opts: opts, Sim: s, Net: nw, Space: ring.NewSpace(opts.Nodes)}
+
+	nPorts := opts.Nodes + opts.Clients + 3
+	sw := nw.NewSwitch("core", nPorts, opts.SwitchLatency)
+	d.Core = openflow.Attach(sw, opts.CtrlDelay)
+
+	var topo controller.Topology
+	single := controller.NewSingleSwitch(d.Core)
+	edge := controller.NewEdgeCore(d.Core)
+	if opts.EdgeOVS {
+		topo = edge
+	} else {
+		topo = single
+	}
+	attach := func(ip netsim.IP, port int) {
+		single.Attach(ip, port)
+		edge.AttachCore(ip, port)
+	}
+
+	// Storage nodes on ports [0, Nodes).
+	var addrs []controller.NodeAddr
+	for i := 0; i < opts.Nodes; i++ {
+		h := nw.NewHost("node"+itoa(i), netsim.IPv4(10, 0, byte(i>>8), byte(i&0xff)).Add(1))
+		nw.Connect(h.Port(), sw.Port(i), opts.Link)
+		attach(h.IP(), i)
+		st := transport.NewStack(h)
+		d.Stacks = append(d.Stacks, st)
+		addrs = append(addrs, controller.NodeAddr{
+			Index: i, IP: h.IP(), MAC: h.MAC(), DataPort: DataPort, CtrlPort: CtrlPort,
+		})
+	}
+
+	// Metadata host on port Nodes.
+	metaHost := nw.NewHost("meta", netsim.MustParseIP("10.254.0.1"))
+	nw.Connect(metaHost.Port(), sw.Port(opts.Nodes), opts.Link)
+	attach(metaHost.IP(), opts.Nodes)
+	metaStack := transport.NewStack(metaHost)
+	d.MetaHost = metaHost
+
+	// Optional hot-standby metadata host on the last port.
+	var standbyStack *transport.Stack
+	if opts.Standby {
+		sbHost := nw.NewHost("meta-standby", netsim.MustParseIP("10.254.0.2"))
+		nw.Connect(sbHost.Port(), sw.Port(nPorts-1), opts.Link)
+		attach(sbHost.IP(), nPorts-1)
+		standbyStack = transport.NewStack(sbHost)
+	}
+
+	// Clients on ports [Nodes+1, ...), optionally behind their own edge
+	// Open vSwitch.
+	for i := 0; i < opts.Clients; i++ {
+		ip := clientIP(i, opts.R)
+		if i < len(opts.ClientIPs) {
+			ip = opts.ClientIPs[i]
+		}
+		h := nw.NewHost("client"+itoa(i), ip)
+		port := opts.Nodes + 1 + i
+		if opts.EdgeOVS {
+			ovs := nw.NewSwitch("ovs"+itoa(i), 2, opts.EdgeLatency)
+			dp := openflow.Attach(ovs, opts.CtrlDelay)
+			nw.Connect(h.Port(), ovs.Port(0), opts.Link)
+			nw.Connect(ovs.Port(1), sw.Port(port), opts.Link)
+			edge.AddEdge(dp, 1)
+			edge.AttachLocal(dp, ip, 0)
+		} else {
+			nw.Connect(h.Port(), sw.Port(port), opts.Link)
+		}
+		attach(ip, port)
+		st := transport.NewStack(h)
+		d.CStacks = append(d.CStacks, st)
+	}
+
+	// Controller.
+	cfg := controller.DefaultConfig()
+	cfg.Placement = ring.NewPlacement(opts.Nodes, opts.R)
+	cfg.Unicast = ring.MustVRing(netsim.MustParsePrefix("10.10.0.0/16"), opts.Nodes, 8)
+	cfg.Multicast = ring.MustVRing(netsim.MustParsePrefix("10.11.0.0/16"), opts.Nodes, 8)
+	cfg.GroupBase = netsim.MustParseIP("239.0.0.0")
+	cfg.HeartbeatEvery = opts.Heartbeat
+	cfg.LoadBalance = opts.LoadBalance
+	cfg.DynamicLB = opts.DynamicLB
+	cfg.LazyMapping = opts.LazyMapping
+	cfg.MappingIdleTimeout = opts.MappingIdle
+	cfg.ClientSpace = netsim.MustParsePrefix("192.168.0.0/16")
+	cfg.CtrlPort = MetaPort
+	if opts.Standby {
+		cfg.StandbyIP = standbyStack.IP()
+	}
+	d.Service = controller.New(metaStack, topo, cfg, addrs)
+	d.Service.Start()
+	if opts.Standby {
+		d.Service.RegisterHost(standbyStack.IP(), standbyStack.Host().MAC())
+		d.Standby = controller.NewStandby(standbyStack, topo, cfg, addrs, metaStack.IP())
+		d.Standby.Start()
+	}
+	for _, cst := range d.CStacks {
+		d.Service.RegisterHost(cst.IP(), cst.Host().MAC())
+	}
+
+	// Storage nodes.
+	for i := 0; i < opts.Nodes; i++ {
+		ncfg := core.DefaultNodeConfig()
+		ncfg.Addr = addrs[i]
+		ncfg.Meta = metaStack.IP()
+		ncfg.MetaPort = MetaPort
+		ncfg.Space = d.Space
+		ncfg.HeartbeatEvery = opts.Heartbeat
+		ncfg.Disk = opts.Disk
+		ncfg.QuorumK = opts.QuorumK
+		ncfg.CPUPerOp = opts.CPUPerOp
+		node := core.NewNode(d.Stacks[i], ncfg)
+		node.Start()
+		d.Nodes = append(d.Nodes, node)
+	}
+
+	// Clients.
+	for i := 0; i < opts.Clients; i++ {
+		ccfg := core.DefaultClientConfig()
+		ccfg.Unicast = cfg.Unicast
+		ccfg.Multicast = cfg.Multicast
+		ccfg.DataPort = DataPort
+		ccfg.R = opts.R
+		ccfg.QuorumK = opts.QuorumK
+		ccfg.OpTimeout = opts.OpTimeout
+		ccfg.RetryWait = opts.RetryWait
+		cl := core.NewClient(d.CStacks[i], ccfg)
+		cl.Start()
+		d.Clients = append(d.Clients, cl)
+	}
+	return d
+}
+
+// Settle runs the simulation briefly so bootstrap flow mods and view
+// announcements land before traffic starts.
+func (d *NICE) Settle() error {
+	return d.Sim.RunUntil(d.Sim.Now() + 20*time.Millisecond)
+}
+
+// Close reaps all simulation processes.
+func (d *NICE) Close() { d.Sim.Shutdown() }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [12]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		b[pos] = '-'
+	}
+	return string(b[pos:])
+}

@@ -1,0 +1,140 @@
+package controller
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+)
+
+// LeafSpine is a two-tier multi-switch fabric: hosts hang off leaf (ToR)
+// switches, all leaves connect to one spine. The paper's platform used a
+// single hardware switch but notes (§6) that "NICE can readily support
+// multi-switch platforms, as the controller will install the same rules
+// on all participating switches" — this topology implements that,
+// including loop-free tree multicast: a leaf delivers locally and sends
+// up; the spine replicates to every member leaf except the ingress one.
+type LeafSpine struct {
+	Spine  *openflow.Datapath
+	Leaves []*openflow.Datapath
+
+	spineDown map[*openflow.Datapath]int // leaf -> spine port facing it
+	leafUp    map[*openflow.Datapath]int // leaf -> its spine-facing port
+	hostLeaf  map[netsim.IP]*openflow.Datapath
+	hostPort  map[netsim.IP]int // port on the host's leaf
+}
+
+// NewLeafSpine builds the fabric descriptor around the spine datapath.
+func NewLeafSpine(spine *openflow.Datapath) *LeafSpine {
+	return &LeafSpine{
+		Spine:     spine,
+		spineDown: make(map[*openflow.Datapath]int),
+		leafUp:    make(map[*openflow.Datapath]int),
+		hostLeaf:  make(map[netsim.IP]*openflow.Datapath),
+		hostPort:  make(map[netsim.IP]int),
+	}
+}
+
+// AddLeaf registers a leaf and its cabling: uplink is the leaf's port
+// toward the spine, spinePort is the spine's port toward the leaf.
+func (t *LeafSpine) AddLeaf(leaf *openflow.Datapath, uplink, spinePort int) {
+	t.Leaves = append(t.Leaves, leaf)
+	t.leafUp[leaf] = uplink
+	t.spineDown[leaf] = spinePort
+}
+
+// AttachHost records a host on a leaf port.
+func (t *LeafSpine) AttachHost(leaf *openflow.Datapath, ip netsim.IP, port int) {
+	t.hostLeaf[ip] = leaf
+	t.hostPort[ip] = port
+}
+
+// MappingDatapaths implements Topology: clients enter at leaves, so the
+// vring rewrite happens there.
+func (t *LeafSpine) MappingDatapaths() []*openflow.Datapath { return t.Leaves }
+
+// GroupDatapaths implements Topology: every switch participates in the
+// multicast tree.
+func (t *LeafSpine) GroupDatapaths() []*openflow.Datapath {
+	out := make([]*openflow.Datapath, 0, len(t.Leaves)+1)
+	out = append(out, t.Spine)
+	out = append(out, t.Leaves...)
+	return out
+}
+
+// AllDatapaths implements Topology.
+func (t *LeafSpine) AllDatapaths() []*openflow.Datapath { return t.GroupDatapaths() }
+
+// PortToward implements Topology.
+func (t *LeafSpine) PortToward(dp *openflow.Datapath, ip netsim.IP) (int, bool) {
+	leaf, ok := t.hostLeaf[ip]
+	if !ok {
+		return 0, false
+	}
+	if dp == t.Spine {
+		return t.spineDown[leaf], true
+	}
+	if dp == leaf {
+		return t.hostPort[ip], true
+	}
+	if up, isLeaf := t.leafUp[dp]; isLeaf {
+		return up, true
+	}
+	return 0, false
+}
+
+// HasGroups implements Topology.
+func (t *LeafSpine) HasGroups(dp *openflow.Datapath) bool { return true }
+
+// MulticastPlan implements Topology with loop-free tree replication.
+func (t *LeafSpine) MulticastPlan(dp *openflow.Datapath, members []netsim.IP) []McastRule {
+	if dp == t.Spine {
+		// Member leaves, in stable leaf order.
+		memberLeaf := make(map[*openflow.Datapath]bool)
+		for _, ip := range members {
+			if leaf, ok := t.hostLeaf[ip]; ok {
+				memberLeaf[leaf] = true
+			}
+		}
+		var all []int
+		for _, leaf := range t.Leaves {
+			if memberLeaf[leaf] {
+				all = append(all, t.spineDown[leaf])
+			}
+		}
+		var plan []McastRule
+		// Ingress-specific entries: never reflect back down the ingress
+		// leaf (its local members were served before the packet came up).
+		for _, leaf := range t.Leaves {
+			in := t.spineDown[leaf]
+			var ports []int
+			for _, p := range all {
+				if p != in {
+					ports = append(ports, p)
+				}
+			}
+			if memberLeaf[leaf] {
+				plan = append(plan, McastRule{InPort: in, Ports: ports})
+			}
+		}
+		// Fallback for ingress from non-member leaves: all member leaves.
+		plan = append(plan, McastRule{InPort: openflow.AnyPort, Ports: all})
+		return plan
+	}
+
+	// A leaf: local member ports, plus the uplink on locally-originated
+	// packets.
+	var local []int
+	for _, ip := range members {
+		if t.hostLeaf[ip] == dp {
+			local = append(local, t.hostPort[ip])
+		}
+	}
+	up := t.leafUp[dp]
+	plan := []McastRule{
+		// From the spine: deliver locally only.
+		{InPort: up, Ports: local},
+		// Locally originated (a node's timestamp multicast entering its
+		// own leaf): deliver to local members and send up.
+		{InPort: openflow.AnyPort, Ports: append(append([]int(nil), local...), up)},
+	}
+	return plan
+}

@@ -1,0 +1,663 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Rule priorities, highest wins.
+const (
+	prioARP     = 90 // punt ARP to the controller
+	prioLB      = 60 // per-division load-balancing rules
+	prioMapping = 50 // vring mapping and group-direct rules
+	prioPhys    = 10 // physical host forwarding
+)
+
+// Config parameterizes the metadata service.
+type Config struct {
+	// Placement is the home layout: N nodes, replication level R.
+	Placement ring.Placement
+	// Unicast and Multicast are the two client-visible virtual rings.
+	Unicast, Multicast ring.VRing
+	// GroupBase is the multicast group address pool: partition p uses
+	// GroupBase+p.
+	GroupBase netsim.IP
+	// HeartbeatEvery is the node heartbeat period (detector granularity).
+	HeartbeatEvery sim.Time
+	// MissedHeartbeats is how many periods of silence declare a node
+	// failed (the paper uses three).
+	MissedHeartbeats int
+	// LoadBalance enables per-source-division get steering (§4.5).
+	LoadBalance bool
+	// ClientSpace is the client source-address space carved into
+	// divisions when LoadBalance is set.
+	ClientSpace netsim.Prefix
+	// CtrlPort is the metadata service's UDP port.
+	CtrlPort uint16
+	// StandbyIP/StandbyPort name the hot-standby metadata replica
+	// (§4.1); zero disables replication.
+	StandbyIP   netsim.IP
+	StandbyPort uint16
+	// LazyMapping defers vring rule installation until the first packet
+	// for a partition punts to the controller (§5: "if the address is a
+	// vnode address, update the switch to map the address"), instead of
+	// installing every mapping at bootstrap. Combine with
+	// MappingIdleTimeout to keep the flow table proportional to the
+	// active working set.
+	LazyMapping bool
+	// MappingIdleTimeout expires unused vring rules (§2.2: rules "have
+	// an expiry period that is set by the controller"); zero = never.
+	MappingIdleTimeout sim.Time
+	// DynamicLB enables the workload-informed division rebalancer (the
+	// §8 future-work extension); requires LoadBalance.
+	DynamicLB bool
+	// RebalanceEvery is the flow-stats polling period of the rebalancer.
+	RebalanceEvery sim.Time
+	// RebalanceMinOps is the minimum per-partition request count in one
+	// period before the rebalancer acts.
+	RebalanceMinOps int
+}
+
+// DefaultConfig fills the timing knobs the paper implies.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatEvery:   500 * time.Millisecond,
+		MissedHeartbeats: 3,
+		CtrlPort:         9000,
+		StandbyPort:      9090,
+		RebalanceEvery:   2 * time.Second,
+		RebalanceMinOps:  50,
+	}
+}
+
+type nodeStatus int
+
+const (
+	nodeUp nodeStatus = iota
+	nodeDown
+	nodeRecovering
+)
+
+type nodeState struct {
+	addr   NodeAddr
+	status nodeStatus
+	lastHB sim.Time
+	load   LoadStats
+}
+
+// Stats counts control-plane work for the scalability experiments.
+type Stats struct {
+	NodeMsgs     int64 // membership messages sent to storage nodes
+	Failures     int64
+	Rejoins      int64
+	Recoveries   int64
+	PeerReports  int64
+	HBReceived   int64
+	Rebalances   int64 // dynamic-LB assignment changes
+	StatsPolls   int64 // flow-stats requests issued by the rebalancer
+	RulesPerPart int   // snapshot: forwarding entries for one partition
+}
+
+// Service is the metadata service: membership module + SDN controller.
+type Service struct {
+	cfg   Config
+	s     *sim.Simulator
+	stack *transport.Stack
+	topo  Topology
+	ctrl  *transport.UDPSocket
+	nodes []*nodeState
+	views []*PartitionView
+	stats Stats
+	trace func(format string, args ...any) // optional event log
+
+	// learning-switch state (§5 mapping service)
+	known   map[netsim.IP]hostLoc
+	pending map[netsim.IP][]pendingPkt
+	arped   map[netsim.IP]sim.Time
+
+	// dynamic load-balancing state (nil when disabled)
+	lb map[int]*lbState
+}
+
+type hostLoc struct {
+	mac netsim.MAC
+	// port per datapath is resolved through the topology; mac is what
+	// the learning path discovers.
+}
+
+type pendingPkt struct {
+	dp     *openflow.Datapath
+	pkt    *netsim.Packet
+	inPort int
+}
+
+// New builds the service on the metadata host's transport stack. nodes
+// lists every storage node in ring order (index i = ring position i).
+func New(stack *transport.Stack, topo Topology, cfg Config, nodes []NodeAddr) *Service {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.MissedHeartbeats <= 0 {
+		cfg.MissedHeartbeats = 3
+	}
+	svc := &Service{
+		cfg:     cfg,
+		s:       stack.Sim(),
+		stack:   stack,
+		topo:    topo,
+		known:   make(map[netsim.IP]hostLoc),
+		pending: make(map[netsim.IP][]pendingPkt),
+		arped:   make(map[netsim.IP]sim.Time),
+	}
+	for _, a := range nodes {
+		svc.nodes = append(svc.nodes, &nodeState{addr: a, status: nodeUp})
+	}
+	svc.views = make([]*PartitionView, cfg.Placement.N)
+	for p := 0; p < cfg.Placement.N; p++ {
+		v := &PartitionView{Partition: p, Epoch: 1, GroupIP: cfg.GroupBase.Add(uint32(p))}
+		for _, idx := range cfg.Placement.Replicas(p) {
+			v.Replicas = append(v.Replicas, nodes[idx])
+		}
+		svc.views[p] = v
+	}
+	return svc
+}
+
+// SetTrace installs an event logger (experiments print the Fig. 11
+// timeline from it).
+func (svc *Service) SetTrace(fn func(format string, args ...any)) { svc.trace = fn }
+
+func (svc *Service) tracef(format string, args ...any) {
+	if svc.trace != nil {
+		svc.trace(format, args...)
+	}
+}
+
+// Stats returns control-plane counters.
+func (svc *Service) Stats() Stats {
+	st := svc.stats
+	st.RulesPerPart = svc.rulesPerPartition()
+	return st
+}
+
+// View returns the current view of partition p (the controller's copy;
+// callers must not mutate it).
+func (svc *Service) View(p int) *PartitionView { return svc.views[p] }
+
+// NodeAddrOf returns the address record of node idx.
+func (svc *Service) NodeAddrOf(idx int) NodeAddr { return svc.nodes[idx].addr }
+
+// RegisterHost teaches the controller a host's location eagerly (the
+// harness does this for infrastructure hosts; clients may instead be
+// learned through ARP, see learning.go).
+func (svc *Service) RegisterHost(ip netsim.IP, mac netsim.MAC) {
+	svc.known[ip] = hostLoc{mac: mac}
+	svc.installPhysRules(ip, mac)
+}
+
+// Start installs the initial rules and spawns the membership procs.
+func (svc *Service) Start() {
+	svc.ctrl = svc.stack.MustBindUDP(svc.cfg.CtrlPort)
+	for _, dp := range svc.topo.AllDatapaths() {
+		dp.SetController(svc)
+		// All ARP traffic goes to the controller: it is both the ARP
+		// requester (host discovery) and the consumer of replies.
+		arpMatch := openflow.NewMatch()
+		arpMatch.Proto = netsim.ProtoARP
+		dp.AddFlow(openflow.FlowEntry{
+			Priority: prioARP,
+			Match:    arpMatch,
+			Actions:  []openflow.Action{openflow.ToController{}},
+			Cookie:   "arp-punt",
+		})
+	}
+	svc.RegisterHost(svc.stack.IP(), svc.stack.Host().MAC())
+	for _, n := range svc.nodes {
+		svc.RegisterHost(n.addr.IP, n.addr.MAC)
+		n.lastHB = svc.s.Now()
+	}
+	for p := range svc.views {
+		if !svc.cfg.LazyMapping {
+			svc.installPartition(p)
+		}
+		svc.announce(svc.views[p], -1)
+	}
+	svc.startStandbySync()
+	svc.startDynamicLB()
+	svc.s.Spawn("metadata-listener", svc.listen)
+	svc.s.Spawn("metadata-detector", svc.detect)
+}
+
+// listen handles node-to-controller messages.
+func (svc *Service) listen(p *sim.Proc) {
+	for {
+		d, ok := svc.ctrl.Recv(p)
+		if !ok {
+			return
+		}
+		switch m := d.Data.(type) {
+		case *Heartbeat:
+			svc.stats.HBReceived++
+			n := svc.nodes[m.Node]
+			n.lastHB = svc.s.Now()
+			n.load = m.Load
+		case *FailureReport:
+			svc.stats.PeerReports++
+			suspect := svc.nodes[m.Suspect]
+			// Sanity-check the accusation against heartbeat freshness: a
+			// node that reported in this period is alive; the reporter
+			// likely raced a membership change.
+			if suspect.status == nodeUp && svc.s.Now()-suspect.lastHB > svc.cfg.HeartbeatEvery {
+				svc.tracef("%v: peer %d reported %d failed", svc.s.Now(), m.Reporter, m.Suspect)
+				svc.fail(m.Suspect)
+			}
+		case *RejoinRequest:
+			svc.handleRejoin(m.Node)
+		case *ConsistentNotice:
+			svc.handleConsistent(m.Node)
+		}
+	}
+}
+
+// detect is the heartbeat watchdog: three missed heartbeats fail a node.
+func (svc *Service) detect(p *sim.Proc) {
+	limit := svc.cfg.HeartbeatEvery * sim.Time(svc.cfg.MissedHeartbeats)
+	for {
+		p.Sleep(svc.cfg.HeartbeatEvery)
+		if svc.stack.Host().Down() {
+			// A crashed metadata host computes nothing; when it returns
+			// it must not act on heartbeats it could never have received.
+			for _, n := range svc.nodes {
+				n.lastHB = svc.s.Now()
+			}
+			continue
+		}
+		now := svc.s.Now()
+		for _, n := range svc.nodes {
+			if n.status == nodeUp && now-n.lastHB > limit {
+				svc.tracef("%v: node %d missed %d heartbeats", now, n.addr.Index, svc.cfg.MissedHeartbeats)
+				svc.fail(n.addr.Index)
+			}
+		}
+	}
+}
+
+// sendToNode pushes a control message to a storage node.
+func (svc *Service) sendToNode(a NodeAddr, msg any, size int) {
+	svc.stats.NodeMsgs++
+	svc.ctrl.SendTo(a.IP, a.CtrlPort, msg, size)
+}
+
+// fail runs the §4.4 failure-hiding procedure for node idx.
+func (svc *Service) fail(idx int) {
+	n := svc.nodes[idx]
+	if n.status == nodeDown {
+		return
+	}
+	n.status = nodeDown
+	svc.stats.Failures++
+	for _, v := range svc.views {
+		if len(v.Replicas) == 0 {
+			continue // fully collapsed partition: operator territory
+		}
+		changed := false
+		wasPrimary := v.Replicas[0].Index == idx
+		// Remove the failed node wherever it appears.
+		for i := 0; i < len(v.Replicas); i++ {
+			if v.Replicas[i].Index == idx {
+				v.Replicas = append(v.Replicas[:i], v.Replicas[i+1:]...)
+				changed = true
+				i--
+			}
+		}
+		if v.Recovering != nil && v.Recovering.Index == idx {
+			v.Recovering = nil
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		// Select a handoff node to restore the replica set (§4.4). With
+		// R=1 the handoff is also the only — hence primary — replica.
+		if h := svc.pickHandoff(v); h != nil {
+			v.Replicas = append(v.Replicas, *h)
+			v.Handoff = h
+			svc.tracef("%v: partition %d handoff -> node %d", svc.s.Now(), v.Partition, h.Index)
+		}
+		if len(v.Replicas) == 0 {
+			svc.tracef("%v: partition %d lost its last replica", svc.s.Now(), v.Partition)
+			continue // nothing to install or announce until an operator acts
+		}
+		if wasPrimary {
+			svc.tracef("%v: partition %d primary failed; promoting node %d",
+				svc.s.Now(), v.Partition, v.Replicas[0].Index)
+		}
+		v.Epoch++
+		svc.installPartition(v.Partition)
+		svc.announce(v, idx)
+	}
+}
+
+// pickHandoff returns the lowest-indexed up node outside the replica
+// set, or nil when none exists.
+func (svc *Service) pickHandoff(v *PartitionView) *NodeAddr {
+	for _, n := range svc.nodes {
+		if n.status != nodeUp {
+			continue
+		}
+		if v.HasReplica(n.addr.Index) {
+			continue
+		}
+		if v.Recovering != nil && v.Recovering.Index == n.addr.Index {
+			continue
+		}
+		a := n.addr
+		return &a
+	}
+	return nil
+}
+
+// announce distributes a changed view to its participants (O(R)
+// messages regardless of cluster size) and mirrors it to the standby.
+func (svc *Service) announce(v *PartitionView, failed int) {
+	svc.syncStandby(v)
+	for _, r := range v.PutParticipants() {
+		if v.Handoff != nil && r.Index == v.Handoff.Index {
+			var failedAddr NodeAddr
+			if failed >= 0 {
+				failedAddr = svc.nodes[failed].addr
+			}
+			svc.sendToNode(r, &HandoffAssign{View: v.Clone(), Failed: failedAddr}, sizeOfView(v))
+			continue
+		}
+		svc.sendToNode(r, &PartitionUpdate{View: v.Clone()}, sizeOfView(v))
+	}
+}
+
+// handleRejoin makes a recovered node put-visible (phase one of §4.4
+// node recovery) and tells it where to fetch what it missed.
+func (svc *Service) handleRejoin(idx int) {
+	n := svc.nodes[idx]
+	if n.status != nodeDown {
+		return
+	}
+	n.status = nodeRecovering
+	n.lastHB = svc.s.Now()
+	svc.stats.Rejoins++
+	svc.tracef("%v: node %d rejoining (put-visible)", svc.s.Now(), idx)
+
+	info := &RejoinInfo{}
+	for _, part := range svc.homePartitions(idx) {
+		v := svc.views[part]
+		if v.HasReplica(idx) {
+			continue // never left (failed before any view update?)
+		}
+		a := n.addr
+		v.Recovering = &a
+		v.Epoch++
+		svc.installPartition(part)
+		svc.announce(v, -1)
+		info.Views = append(info.Views, v.Clone())
+		var h NodeAddr
+		if v.Handoff != nil {
+			h = *v.Handoff
+		}
+		info.Handoffs = append(info.Handoffs, h)
+	}
+	svc.sendToNode(n.addr, info, ctrlMsgSize+len(info.Views)*32)
+}
+
+// handleConsistent completes phase two of either recovery or ring
+// expansion: everywhere the node is marked Recovering it becomes a full
+// (get-visible) replica, and any handoff standing in for it is released.
+func (svc *Service) handleConsistent(idx int) {
+	n := svc.nodes[idx]
+	if n.status == nodeRecovering {
+		n.status = nodeUp
+		n.lastHB = svc.s.Now()
+		svc.stats.Recoveries++
+	}
+	svc.tracef("%v: node %d consistent (get-visible)", svc.s.Now(), idx)
+
+	for part, v := range svc.views {
+		if v.Recovering == nil || v.Recovering.Index != idx {
+			continue
+		}
+		var released *NodeAddr
+		if v.Handoff != nil {
+			for i := range v.Replicas {
+				if v.Replicas[i].Index == v.Handoff.Index {
+					v.Replicas = append(v.Replicas[:i], v.Replicas[i+1:]...)
+					break
+				}
+			}
+			released = v.Handoff
+			v.Handoff = nil
+		}
+		v.Replicas = append(v.Replicas, n.addr)
+		v.Recovering = nil
+		v.Epoch++
+		svc.installPartition(part)
+		svc.announce(v, -1)
+		if released != nil {
+			svc.sendToNode(*released, &HandoffRelease{Partition: part}, ctrlMsgSize)
+		}
+	}
+}
+
+// AddReplica permanently grows partition part's replica set with node
+// idx (§4.4 ring re-configuration, §4.5 "when an administrator adds a
+// new node to a replica set"): the node becomes put-visible at once,
+// fetches the partition's keys from the primary, and turns get-visible
+// on its ConsistentNotice — at which point the load-balancing divisions
+// are recomputed over the larger set.
+func (svc *Service) AddReplica(part, idx int) error {
+	n := svc.nodes[idx]
+	if n.status != nodeUp {
+		return fmt.Errorf("controller: node %d is not up", idx)
+	}
+	v := svc.views[part]
+	if v.HasReplica(idx) || (v.Recovering != nil && v.Recovering.Index == idx) {
+		return fmt.Errorf("controller: node %d already serves partition %d", idx, part)
+	}
+	a := n.addr
+	v.Recovering = &a
+	v.Epoch++
+	svc.installPartition(part)
+	svc.announce(v, -1)
+	svc.sendToNode(a, &ExpandAssign{View: v.Clone(), Source: v.Primary()}, sizeOfView(v))
+	svc.tracef("%v: node %d joining partition %d (put-visible)", svc.s.Now(), idx, part)
+	return nil
+}
+
+// homePartitions returns the partitions node idx serves in the home
+// placement.
+func (svc *Service) homePartitions(idx int) []int {
+	prim, sec := svc.cfg.Placement.PartitionsOf(idx)
+	return append(prim, sec...)
+}
+
+// installPartition (re)installs every rule belonging to partition p:
+// unicast mapping (with optional LB divisions), multicast mapping, the
+// group-direct rule, and the group itself.
+func (svc *Service) installPartition(p int) {
+	v := svc.views[p]
+	uniPfx := svc.cfg.Unicast.SubgroupPrefix(p)
+	mcPfx := svc.cfg.Multicast.SubgroupPrefix(p)
+
+	// Multicast groups first (the mapping rules reference them): every
+	// group datapath gets the loop-free replication plan the topology
+	// computes for the current member set. Plan entry k uses group id
+	// 64p+k; the fallback (AnyPort) entry is what vring mapping rules
+	// jump to.
+	memberIPs := make([]netsim.IP, 0, len(v.Replicas)+1)
+	for _, r := range v.PutParticipants() {
+		memberIPs = append(memberIPs, r.IP)
+	}
+	fallbackGid := make(map[*openflow.Datapath]openflow.GroupID)
+	for _, dp := range svc.topo.GroupDatapaths() {
+		dp.RemoveCookie(fmt.Sprintf("gd-p%d.", p))
+		for k, pe := range svc.topo.MulticastPlan(dp, memberIPs) {
+			if len(pe.Ports) == 0 {
+				continue
+			}
+			gid := openflow.GroupID(p*64 + k)
+			buckets := make([]openflow.Bucket, 0, len(pe.Ports))
+			for _, port := range pe.Ports {
+				buckets = append(buckets, openflow.Bucket{
+					Actions: []openflow.Action{openflow.Output{Port: port}},
+				})
+			}
+			dp.SetGroup(openflow.Group{ID: gid, Buckets: buckets})
+			m := openflow.MatchDst(netsim.HostPrefix(v.GroupIP))
+			m.InPort = pe.InPort
+			prio := prioMapping
+			if pe.InPort != openflow.AnyPort {
+				prio += 2 // ingress-specific entries shadow the fallback
+			}
+			dp.AddFlow(openflow.FlowEntry{
+				Priority: prio,
+				Match:    m,
+				Actions:  []openflow.Action{openflow.OutputGroup{Group: gid}},
+				Cookie:   fmt.Sprintf("gd-p%d.k%d", p, k),
+			})
+			if pe.InPort == openflow.AnyPort {
+				fallbackGid[dp] = gid
+			}
+		}
+	}
+
+	for _, dp := range svc.topo.MappingDatapaths() {
+		dp.RemoveCookie(fmt.Sprintf("uni-p%d.", p))
+		dp.RemoveCookie(fmt.Sprintf("mc-p%d.", p))
+
+		// Unicast: default route to the primary.
+		primary := v.Primary()
+		if port, ok := svc.topo.PortToward(dp, primary.IP); ok {
+			dp.AddFlow(openflow.FlowEntry{
+				Priority:    prioMapping,
+				Match:       openflow.MatchDst(uniPfx),
+				IdleTimeout: svc.cfg.MappingIdleTimeout,
+				Actions: []openflow.Action{
+					openflow.SetDstIP{IP: primary.IP},
+					openflow.SetDstMAC{MAC: primary.MAC},
+					openflow.Output{Port: port},
+				},
+				Cookie: fmt.Sprintf("uni-p%d.", p),
+			})
+		}
+		// Load balancing: one higher-priority rule per client division.
+		// Static mode uses R divisions bound 1:1 to replicas (§4.5); the
+		// dynamic extension refines the space and maps divisions per the
+		// rebalancer's assignment.
+		if svc.cfg.LoadBalance && len(v.Replicas) > 1 {
+			ndiv := svc.ndivFor(len(v.Replicas))
+			assign := svc.divisionAssignment(p, ndiv, len(v.Replicas))
+			for d, div := range svc.divisionsN(ndiv) {
+				r := v.Replicas[assign[d]]
+				port, ok := svc.topo.PortToward(dp, r.IP)
+				if !ok {
+					continue
+				}
+				m := openflow.MatchDst(uniPfx)
+				m.SrcIP = div
+				dp.AddFlow(openflow.FlowEntry{
+					Priority:    prioLB,
+					Match:       m,
+					IdleTimeout: svc.cfg.MappingIdleTimeout,
+					Actions: []openflow.Action{
+						openflow.SetDstIP{IP: r.IP},
+						openflow.SetDstMAC{MAC: r.MAC},
+						openflow.Output{Port: port},
+					},
+					Cookie: fmt.Sprintf("uni-p%d.d%d", p, d),
+				})
+			}
+		}
+
+		// Multicast mapping: rewrite to the group address, then fan out
+		// through the local fallback group, or send toward the fabric
+		// core when this datapath holds no groups (client-edge OVS).
+		actions := []openflow.Action{openflow.SetDstIP{IP: v.GroupIP}}
+		if gid, ok := fallbackGid[dp]; ok {
+			actions = append(actions, openflow.OutputGroup{Group: gid})
+		} else if port, ok := svc.topo.PortToward(dp, v.GroupIP); ok {
+			actions = append(actions, openflow.Output{Port: port})
+		}
+		dp.AddFlow(openflow.FlowEntry{
+			Priority:    prioMapping,
+			Match:       openflow.MatchDst(mcPfx),
+			IdleTimeout: svc.cfg.MappingIdleTimeout,
+			Actions:     actions,
+			Cookie:      fmt.Sprintf("mc-p%d.", p),
+		})
+	}
+
+}
+
+// divisions splits the client space into n power-of-two source prefixes
+// (§4.5: "each division size is a multiple of 2").
+func (svc *Service) divisions(n int) []netsim.Prefix { return svc.divisionsN(n) }
+
+// installPhysRules adds plain L3 forwarding for one physical host on
+// every datapath.
+func (svc *Service) installPhysRules(ip netsim.IP, mac netsim.MAC) {
+	cookie := "phys-" + ip.String()
+	for _, dp := range svc.topo.AllDatapaths() {
+		port, ok := svc.topo.PortToward(dp, ip)
+		if !ok {
+			continue
+		}
+		dp.RemoveFlows(func(e *openflow.FlowEntry) bool { return e.Cookie == cookie })
+		dp.AddFlow(openflow.FlowEntry{
+			Priority: prioPhys,
+			Match:    openflow.MatchDst(netsim.HostPrefix(ip)),
+			Actions: []openflow.Action{
+				openflow.SetDstMAC{MAC: mac},
+				openflow.Output{Port: port},
+			},
+			Cookie: cookie,
+		})
+	}
+}
+
+// rulesPerPartition reports the forwarding entries one partition costs on
+// the mapping datapath: the §4.6 switch-scalability quantity (2 without
+// load balancing, R+1 with).
+func (svc *Service) rulesPerPartition() int {
+	dps := svc.topo.MappingDatapaths()
+	if len(dps) == 0 || len(svc.views) == 0 {
+		return 0
+	}
+	count := 0
+	for _, e := range dps[0].Table().Entries() {
+		if hasPrefix(e.Cookie, "uni-p0.") || hasPrefix(e.Cookie, "mc-p0.") {
+			count++
+		}
+	}
+	return count
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// PermanentRemove executes the administrator's node-removal procedure
+// (§4.4 ring re-configuration): the handoff (if any) stays as a durable
+// replica and all affected nodes are informed.
+func (svc *Service) PermanentRemove(idx int) {
+	svc.fail(idx) // hiding + handoff
+	for _, v := range svc.views {
+		if v.Handoff != nil {
+			v.Handoff = nil // promotion to permanent member
+			svc.announce(v, -1)
+		}
+	}
+	svc.tracef("%v: node %d permanently removed", svc.s.Now(), idx)
+}

@@ -1,0 +1,224 @@
+package controller
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// This file implements the metadata-service extension sketched in §4.1:
+// "One approach we are currently investigating is having a hot standby
+// replica of the metadata node. Two workload characteristics make this
+// design feasible: the stored metadata is small and changes
+// infrequently, and the load on our metadata service is low."
+//
+// The active service streams every state change to the standby and
+// pings it each heartbeat period. When the pings stop, the standby
+// promotes itself: it reinstalls the forwarding state it mirrors and —
+// in proper NICE fashion — uses the switch itself to take over the
+// service identity, installing a rule that rewrites packets addressed
+// to the old metadata address onto its own host. Storage nodes keep
+// heartbeating the address they always knew.
+
+// StateSync mirrors one state change from the active metadata service.
+type StateSync struct {
+	View     *PartitionView // nil on pure status changes
+	Statuses []int          // node status codes, index-aligned
+}
+
+// MetaPing is the active service's liveness beacon to its standby.
+type MetaPing struct {
+	Seq uint64
+}
+
+// syncStandby pushes a changed view (and the status vector) to the
+// configured standby.
+func (svc *Service) syncStandby(v *PartitionView) {
+	if svc.cfg.StandbyIP == 0 {
+		return
+	}
+	msg := &StateSync{Statuses: svc.statusVector()}
+	if v != nil {
+		msg.View = v.Clone()
+	}
+	size := ctrlMsgSize
+	if v != nil {
+		size += sizeOfView(v)
+	}
+	svc.ctrl.SendTo(svc.cfg.StandbyIP, svc.cfg.StandbyPort, msg, size)
+}
+
+func (svc *Service) statusVector() []int {
+	out := make([]int, len(svc.nodes))
+	for i, n := range svc.nodes {
+		out[i] = int(n.status)
+	}
+	return out
+}
+
+// startStandbySync boots the replication stream: a full-state snapshot,
+// then a ping every heartbeat period (changes flow through syncStandby).
+func (svc *Service) startStandbySync() {
+	if svc.cfg.StandbyIP == 0 {
+		return
+	}
+	for _, v := range svc.views {
+		svc.syncStandby(v)
+	}
+	svc.s.Spawn("metadata-standby-ping", func(p *sim.Proc) {
+		var seq uint64
+		for {
+			p.Sleep(svc.cfg.HeartbeatEvery)
+			seq++
+			svc.ctrl.SendTo(svc.cfg.StandbyIP, svc.cfg.StandbyPort, &MetaPing{Seq: seq}, 64)
+		}
+	})
+}
+
+// RestoreState overwrites the service's views and node statuses with a
+// mirrored snapshot; used by a standby immediately before Start.
+func (svc *Service) RestoreState(views []*PartitionView, statuses []int) {
+	for _, v := range views {
+		if v != nil && v.Partition >= 0 && v.Partition < len(svc.views) {
+			// Bump the epoch so post-takeover announcements supersede
+			// anything the nodes already hold.
+			c := v.Clone()
+			c.Epoch++
+			svc.views[v.Partition] = c
+		}
+	}
+	for i, st := range statuses {
+		if i < len(svc.nodes) {
+			svc.nodes[i].status = nodeStatus(st)
+			svc.nodes[i].lastHB = svc.s.Now()
+		}
+	}
+}
+
+// Standby is the hot-standby metadata replica.
+type Standby struct {
+	stack  *transport.Stack
+	topo   Topology
+	cfg    Config
+	nodes  []NodeAddr
+	active netsim.IP // the active service's address (the identity to adopt)
+
+	sock     *transport.UDPSocket
+	views    map[int]*PartitionView
+	statuses []int
+	lastPing sim.Time
+	promoted *Service
+	trace    func(format string, args ...any)
+}
+
+// NewStandby builds a standby on its own host. cfg must match the
+// active service's configuration; activeIP is the address storage nodes
+// send their heartbeats to.
+func NewStandby(stack *transport.Stack, topo Topology, cfg Config, nodes []NodeAddr, activeIP netsim.IP) *Standby {
+	return &Standby{
+		stack:  stack,
+		topo:   topo,
+		cfg:    cfg,
+		nodes:  nodes,
+		active: activeIP,
+		views:  make(map[int]*PartitionView),
+	}
+}
+
+// SetTrace installs an event logger.
+func (sb *Standby) SetTrace(fn func(format string, args ...any)) { sb.trace = fn }
+
+func (sb *Standby) tracef(format string, args ...any) {
+	if sb.trace != nil {
+		sb.trace(format, args...)
+	}
+}
+
+// Promoted returns the service running on this standby after takeover,
+// or nil while the primary is alive.
+func (sb *Standby) Promoted() *Service { return sb.promoted }
+
+// Start begins mirroring and watching the active service.
+func (sb *Standby) Start() {
+	sb.sock = sb.stack.MustBindUDP(sb.cfg.StandbyPort)
+	sb.lastPing = sb.stack.Sim().Now()
+	s := sb.stack.Sim()
+	s.Spawn("standby-listener", func(p *sim.Proc) {
+		for {
+			d, ok := sb.sock.Recv(p)
+			if !ok {
+				return
+			}
+			switch m := d.Data.(type) {
+			case *StateSync:
+				if m.View != nil {
+					old := sb.views[m.View.Partition]
+					if old == nil || old.Epoch < m.View.Epoch {
+						sb.views[m.View.Partition] = m.View
+					}
+				}
+				sb.statuses = m.Statuses
+				sb.lastPing = s.Now()
+			case *MetaPing:
+				sb.lastPing = s.Now()
+			}
+		}
+	})
+	s.Spawn("standby-watchdog", func(p *sim.Proc) {
+		limit := sb.cfg.HeartbeatEvery * sim.Time(sb.cfg.MissedHeartbeats)
+		for sb.promoted == nil {
+			p.Sleep(sb.cfg.HeartbeatEvery)
+			if s.Now()-sb.lastPing > limit {
+				sb.takeover()
+				return
+			}
+		}
+	})
+}
+
+// takeover promotes the standby: it stops mirroring, rebuilds the
+// service from the mirrored state, and redirects the old metadata
+// address to itself in the fabric.
+func (sb *Standby) takeover() {
+	sb.tracef("%v: metadata standby taking over for %s", sb.stack.Sim().Now(), sb.active)
+	sb.sock.Close() // free the port for the promoted service
+
+	cfg := sb.cfg
+	cfg.StandbyIP = 0 // no standby-of-standby
+	cfg.CtrlPort = sb.cfg.CtrlPort
+	svc := New(sb.stack, sb.topo, cfg, sb.nodes)
+	views := make([]*PartitionView, 0, len(sb.views))
+	for _, v := range sb.views {
+		views = append(views, v)
+	}
+	svc.RestoreState(views, sb.statuses)
+	if sb.trace != nil {
+		svc.SetTrace(sb.trace)
+	}
+	svc.Start()
+
+	// Adopt the service identity in the network: packets to the old
+	// metadata address now reach this host. The old primary, if it ever
+	// returns, is cut off the control plane until an operator intervenes.
+	for _, dp := range sb.topo.AllDatapaths() {
+		port, ok := sb.topo.PortToward(dp, sb.stack.IP())
+		if !ok {
+			continue
+		}
+		dp.RemoveFlows(func(e *openflow.FlowEntry) bool {
+			return e.Cookie == "phys-"+sb.active.String()
+		})
+		dp.AddFlow(openflow.FlowEntry{
+			Priority: prioMapping,
+			Match:    openflow.MatchDst(netsim.HostPrefix(sb.active)),
+			Actions: []openflow.Action{
+				openflow.SetDstIP{IP: sb.stack.IP()},
+				openflow.SetDstMAC{MAC: sb.stack.Host().MAC()},
+				openflow.Output{Port: port},
+			},
+			Cookie: "meta-takeover",
+		})
+	}
+	sb.promoted = svc
+}

@@ -1,0 +1,187 @@
+package controller
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/openflow"
+)
+
+// McastRule is one loop-free multicast forwarding decision on a
+// datapath: packets for the group arriving on InPort (openflow.AnyPort =
+// the fallback entry) are replicated onto Ports. Multi-switch fabrics
+// need ingress-specific entries so a packet is never reflected back
+// toward its origin.
+type McastRule struct {
+	InPort int
+	Ports  []int
+}
+
+// Topology tells the controller where to install which rules. The paper
+// deploys two shapes (§5.1, §6 Platform): everything on one hardware
+// OpenFlow switch, or header rewriting on client-side Open vSwitches with
+// forwarding and multicast on the hardware core; §6 notes multi-switch
+// fabrics follow by installing rules on every switch (see LeafSpine).
+type Topology interface {
+	// MappingDatapaths returns the datapaths that perform virtual-to-
+	// physical header rewriting (client edges, or the single switch).
+	MappingDatapaths() []*openflow.Datapath
+	// GroupDatapaths returns the datapaths that hold multicast groups
+	// (the fan-out points).
+	GroupDatapaths() []*openflow.Datapath
+	// AllDatapaths returns every controlled datapath.
+	AllDatapaths() []*openflow.Datapath
+	// PortToward returns dp's output port leading to ip (a host port or
+	// an uplink toward the rest of the fabric).
+	PortToward(dp *openflow.Datapath, ip netsim.IP) (int, bool)
+	// HasGroups reports whether dp is a group datapath.
+	HasGroups(dp *openflow.Datapath) bool
+	// MulticastPlan returns dp's loop-free replication rules for a group
+	// with the given member hosts. Exactly one entry should use
+	// openflow.AnyPort (the fallback the vring mapping rule jumps to);
+	// entries with empty Ports are skipped.
+	MulticastPlan(dp *openflow.Datapath, members []netsim.IP) []McastRule
+}
+
+// SingleSwitch is the paper's primary platform: all hosts on one
+// OpenFlow switch.
+type SingleSwitch struct {
+	DP    *openflow.Datapath
+	ports map[netsim.IP]int
+}
+
+// NewSingleSwitch builds the topology descriptor; hosts are registered
+// with Attach as they are cabled.
+func NewSingleSwitch(dp *openflow.Datapath) *SingleSwitch {
+	return &SingleSwitch{DP: dp, ports: make(map[netsim.IP]int)}
+}
+
+// Attach records that the host with ip sits on switch port.
+func (t *SingleSwitch) Attach(ip netsim.IP, port int) { t.ports[ip] = port }
+
+// MappingDatapaths implements Topology.
+func (t *SingleSwitch) MappingDatapaths() []*openflow.Datapath {
+	return []*openflow.Datapath{t.DP}
+}
+
+// GroupDatapaths implements Topology.
+func (t *SingleSwitch) GroupDatapaths() []*openflow.Datapath {
+	return []*openflow.Datapath{t.DP}
+}
+
+// AllDatapaths implements Topology.
+func (t *SingleSwitch) AllDatapaths() []*openflow.Datapath {
+	return []*openflow.Datapath{t.DP}
+}
+
+// PortToward implements Topology.
+func (t *SingleSwitch) PortToward(dp *openflow.Datapath, ip netsim.IP) (int, bool) {
+	p, ok := t.ports[ip]
+	return p, ok
+}
+
+// HasGroups implements Topology.
+func (t *SingleSwitch) HasGroups(dp *openflow.Datapath) bool { return dp == t.DP }
+
+// MulticastPlan implements Topology: a single switch replicates to every
+// member port unconditionally.
+func (t *SingleSwitch) MulticastPlan(dp *openflow.Datapath, members []netsim.IP) []McastRule {
+	var ports []int
+	for _, ip := range members {
+		if p, ok := t.ports[ip]; ok {
+			ports = append(ports, p)
+		}
+	}
+	return []McastRule{{InPort: openflow.AnyPort, Ports: ports}}
+}
+
+// EdgeCore is the paper's workaround deployment (§5.1): the hardware
+// switch does not rewrite headers, so every client sits behind its own
+// Open vSwitch that performs the virtual-to-physical mapping, while the
+// core switch forwards and multicasts.
+type EdgeCore struct {
+	Core *openflow.Datapath
+	// Edges are the client-side Open vSwitches. Port 0 of each edge faces
+	// the client; Uplink faces the core.
+	Edges  []*openflow.Datapath
+	Uplink map[*openflow.Datapath]int // edge -> its core-facing port
+	ports  map[netsim.IP]int          // host -> core port (storage nodes and edge uplinks' hosts)
+	local  map[*openflow.Datapath]map[netsim.IP]int
+}
+
+// NewEdgeCore builds the two-tier descriptor.
+func NewEdgeCore(core *openflow.Datapath) *EdgeCore {
+	return &EdgeCore{
+		Core:   core,
+		Uplink: make(map[*openflow.Datapath]int),
+		ports:  make(map[netsim.IP]int),
+		local:  make(map[*openflow.Datapath]map[netsim.IP]int),
+	}
+}
+
+// AttachLocal records that ip hangs directly off edge port (the edge's
+// own client).
+func (t *EdgeCore) AttachLocal(edge *openflow.Datapath, ip netsim.IP, port int) {
+	m := t.local[edge]
+	if m == nil {
+		m = make(map[netsim.IP]int)
+		t.local[edge] = m
+	}
+	m[ip] = port
+}
+
+// AttachCore records that the host (or edge subtree containing it) with
+// ip is reached through core port.
+func (t *EdgeCore) AttachCore(ip netsim.IP, port int) { t.ports[ip] = port }
+
+// AddEdge registers a client edge switch and its uplink port.
+func (t *EdgeCore) AddEdge(edge *openflow.Datapath, uplinkPort int) {
+	t.Edges = append(t.Edges, edge)
+	t.Uplink[edge] = uplinkPort
+}
+
+// MappingDatapaths implements Topology: rewriting happens at the edges.
+func (t *EdgeCore) MappingDatapaths() []*openflow.Datapath { return t.Edges }
+
+// GroupDatapaths implements Topology: the core multicasts.
+func (t *EdgeCore) GroupDatapaths() []*openflow.Datapath {
+	return []*openflow.Datapath{t.Core}
+}
+
+// AllDatapaths implements Topology.
+func (t *EdgeCore) AllDatapaths() []*openflow.Datapath {
+	out := make([]*openflow.Datapath, 0, len(t.Edges)+1)
+	out = append(out, t.Core)
+	out = append(out, t.Edges...)
+	return out
+}
+
+// PortToward implements Topology: on an edge everything non-local goes up
+// the uplink; on the core, to the registered port.
+func (t *EdgeCore) PortToward(dp *openflow.Datapath, ip netsim.IP) (int, bool) {
+	if dp == t.Core {
+		p, ok := t.ports[ip]
+		return p, ok
+	}
+	if p, ok := t.local[dp][ip]; ok {
+		return p, true
+	}
+	if up, ok := t.Uplink[dp]; ok {
+		return up, true
+	}
+	return 0, false
+}
+
+// HasGroups implements Topology.
+func (t *EdgeCore) HasGroups(dp *openflow.Datapath) bool { return dp == t.Core }
+
+// MulticastPlan implements Topology: the core fans out to the member
+// host ports (members hang off the core directly; edges only front
+// clients).
+func (t *EdgeCore) MulticastPlan(dp *openflow.Datapath, members []netsim.IP) []McastRule {
+	var ports []int
+	for _, ip := range members {
+		if p, ok := t.ports[ip]; ok {
+			ports = append(ports, p)
+		}
+	}
+	return []McastRule{{InPort: openflow.AnyPort, Ports: ports}}
+}

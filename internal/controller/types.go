@@ -1,0 +1,163 @@
+// Package controller implements the NICE metadata service (§4.1): a
+// membership module that monitors storage nodes via heartbeats and
+// detects joins and failures, and an SDN controller that maintains the
+// virtual-ring mappings, multicast groups and load-balancing rules in the
+// switch fabric. It also implements the consistency-aware fault-tolerance
+// state machine (§3.3, §4.4): failed nodes are hidden from clients by
+// removing them from the switch mappings, a handoff node stands in, and
+// rejoining nodes become put-visible first and get-visible only once
+// consistent.
+package controller
+
+import (
+	"repro/internal/netsim"
+)
+
+// NodeAddr identifies one storage node's endpoints.
+type NodeAddr struct {
+	Index    int
+	IP       netsim.IP
+	MAC      netsim.MAC
+	DataPort uint16 // UDP requests and the multicast receiver
+	CtrlPort uint16 // node-side membership control endpoint
+}
+
+// PartitionView is the authoritative replica-set state for one partition,
+// pushed to the affected nodes on every membership change. Nodes keep
+// only the views of partitions they serve: the paper's O(R) per-node
+// membership state.
+type PartitionView struct {
+	Partition int
+	Epoch     uint64
+	// Replicas are the nodes currently serving the partition, primary
+	// first. While a failure is being covered this includes the handoff
+	// node and excludes the failed one.
+	Replicas []NodeAddr
+	// Handoff is the stand-in node (also present in Replicas), nil when
+	// the set is healthy.
+	Handoff *NodeAddr
+	// Recovering is a rejoining node that is put-visible (in the
+	// multicast group, participating in 2PC) but not yet get-visible.
+	Recovering *NodeAddr
+	// GroupIP is the partition's multicast group address.
+	GroupIP netsim.IP
+}
+
+// Primary returns the current primary replica.
+func (v *PartitionView) Primary() NodeAddr { return v.Replicas[0] }
+
+// PutParticipants returns every node that must take part in a put: the
+// replicas plus a recovering node, primary first.
+func (v *PartitionView) PutParticipants() []NodeAddr {
+	out := make([]NodeAddr, len(v.Replicas), len(v.Replicas)+1)
+	copy(out, v.Replicas)
+	if v.Recovering != nil {
+		out = append(out, *v.Recovering)
+	}
+	return out
+}
+
+// HasReplica reports whether node idx is in the replica list.
+func (v *PartitionView) HasReplica(idx int) bool {
+	for _, r := range v.Replicas {
+		if r.Index == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone deep-copies the view so nodes can hold it without aliasing the
+// controller's state.
+func (v *PartitionView) Clone() *PartitionView {
+	c := *v
+	c.Replicas = append([]NodeAddr(nil), v.Replicas...)
+	if v.Handoff != nil {
+		h := *v.Handoff
+		c.Handoff = &h
+	}
+	if v.Recovering != nil {
+		r := *v.Recovering
+		c.Recovering = &r
+	}
+	return &c
+}
+
+// LoadStats ride on heartbeats (§4.5 workload-informed load balancing).
+type LoadStats struct {
+	Puts, Gets int64
+	BytesIn    int64
+	BytesOut   int64
+}
+
+// Node-to-controller messages (UDP to the metadata service port).
+
+// Heartbeat is the periodic liveness and load report.
+type Heartbeat struct {
+	Node int
+	Load LoadStats
+}
+
+// FailureReport is a peer accusation: the reporter timed out twice on the
+// suspect during the put protocol (§4.4 failure detection).
+type FailureReport struct {
+	Reporter int
+	Suspect  int
+}
+
+// RejoinRequest starts the two-phase rejoin of a recovered node.
+type RejoinRequest struct {
+	Node int
+}
+
+// ConsistentNotice tells the controller a recovering node has fetched a
+// consistent data set and may become get-visible.
+type ConsistentNotice struct {
+	Node int
+}
+
+// Controller-to-node messages (UDP to the node control port).
+
+// PartitionUpdate pushes a new view to an affected replica.
+type PartitionUpdate struct {
+	View *PartitionView
+}
+
+// HandoffAssign tells a node to stand in for a failed peer on one
+// partition. The node starts accepting that partition's traffic into its
+// handoff namespace.
+type HandoffAssign struct {
+	View   *PartitionView
+	Failed NodeAddr
+}
+
+// HandoffRelease tells the former handoff node the original owner is
+// consistent again; it may drop the handoff data.
+type HandoffRelease struct {
+	Partition int
+}
+
+// RejoinInfo answers a RejoinRequest: which partitions to recover and who
+// holds the handoff data for each.
+type RejoinInfo struct {
+	Views    []*PartitionView // the node is already put-visible in these
+	Handoffs []NodeAddr       // element i holds handoff data for Views[i]
+}
+
+// ExpandAssign tells a node it is being added to a replica set
+// permanently (§4.4 ring re-configuration): it is already put-visible;
+// it must fetch the partition's full key range from Source and then
+// report consistent to become get-visible.
+type ExpandAssign struct {
+	View   *PartitionView
+	Source NodeAddr // the partition's primary
+}
+
+// ctrlMsgSize approximates the wire size of membership messages; the
+// membership-scalability experiment counts them.
+const ctrlMsgSize = 128
+
+// sizeOfView approximates a PartitionUpdate's wire size.
+func sizeOfView(v *PartitionView) int {
+	return 64 + 32*len(v.Replicas)
+}

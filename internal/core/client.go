@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ClientConfig parameterizes a NICEKV client. Clients know only the two
+// virtual rings and the global replication level — never physical
+// placement (§3.2).
+type ClientConfig struct {
+	Unicast, Multicast ring.VRing
+	DataPort           uint16 // storage nodes' request port
+	ReplyPort          uint16 // this client's reply listener
+	R                  int    // system replication level
+	// QuorumK, when non-zero, lets the put multicast return once any K
+	// replicas hold the data (any-k transport, §5).
+	QuorumK    int
+	OpTimeout  sim.Time
+	RetryWait  sim.Time // back-off before retrying a failed put
+	MaxRetries int
+}
+
+// DefaultClientConfig fills the protocol timing the evaluation uses:
+// 2-second retry back-off (§6.6).
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		DataPort:   7000,
+		ReplyPort:  8000,
+		OpTimeout:  time.Second,
+		RetryWait:  2 * time.Second,
+		MaxRetries: 5,
+	}
+}
+
+// OpResult reports one completed operation.
+type OpResult struct {
+	Latency sim.Time
+	Retries int
+	Found   bool // gets: object existed
+	Value   any  // gets: the object value
+	Size    int
+}
+
+// ErrOpFailed is returned when an operation exhausted its retries.
+var ErrOpFailed = fmt.Errorf("core: operation failed after retries")
+
+// Client is a NICEKV client endpoint.
+type Client struct {
+	cfg     ClientConfig
+	stack   *transport.Stack
+	udp     *transport.UDPSocket
+	pending map[uint64]*sim.Future[any]
+	seq     uint64
+}
+
+// NewClient attaches a client to a host's transport stack.
+func NewClient(stack *transport.Stack, cfg ClientConfig) *Client {
+	return &Client{cfg: cfg, stack: stack, pending: make(map[uint64]*sim.Future[any])}
+}
+
+// Start binds the request socket and the reply listener.
+func (c *Client) Start() {
+	c.udp = c.stack.MustBindUDP(0)
+	ln := c.stack.MustListen(c.cfg.ReplyPort)
+	c.stack.Sim().Spawn("client-accept", func(p *sim.Proc) {
+		for {
+			conn, ok := ln.Accept(p)
+			if !ok {
+				return
+			}
+			c.stack.Sim().Spawn("client-reader", func(p *sim.Proc) {
+				for {
+					m, ok := conn.Recv(p)
+					if !ok {
+						return
+					}
+					c.dispatch(m.Data)
+				}
+			})
+		}
+	})
+}
+
+// dispatch matches a reply to its waiting operation.
+func (c *Client) dispatch(data any) {
+	var id uint64
+	switch m := data.(type) {
+	case *PutReply:
+		id = m.ReqID
+	case *GetReply:
+		id = m.ReqID
+	default:
+		return
+	}
+	if f, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		f.Set(data)
+	}
+}
+
+// IP returns the client's address.
+func (c *Client) IP() netsim.IP { return c.stack.IP() }
+
+// Put stores key=value (size payload bytes), multicasting the object to
+// the replica set in a single network-level operation and waiting for the
+// primary's commit acknowledgment. Failed attempts (a replica died
+// mid-put) are retried after RetryWait, as in §4.4/§6.6.
+func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, error) {
+	start := p.Now()
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		c.seq++
+		id := c.seq // c.seq advances under concurrent operations
+		req := &PutRequest{
+			Key:        key,
+			Value:      value,
+			Size:       size,
+			Client:     c.stack.IP(),
+			ClientPort: c.cfg.ReplyPort,
+			ClientSeq:  id,
+		}
+		f := sim.NewFuture[any](c.stack.Sim())
+		c.pending[id] = f
+
+		_, err := c.stack.SendMulticast(p, transport.McastOpts{
+			To:        c.cfg.Multicast.AddrOfKey(key),
+			ToPort:    c.cfg.DataPort,
+			Data:      req,
+			Size:      size + putHeaderSize,
+			Receivers: c.cfg.R,
+			K:         c.cfg.QuorumK,
+			Timeout:   c.cfg.OpTimeout,
+		})
+		if err == nil {
+			if raw, ok := f.WaitTimeout(p, c.cfg.OpTimeout); ok {
+				if rep := raw.(*PutReply); rep.OK {
+					return OpResult{Latency: p.Now() - start, Retries: attempt, Size: size}, nil
+				}
+			}
+		}
+		delete(c.pending, id)
+		if attempt < c.cfg.MaxRetries {
+			p.Sleep(c.cfg.RetryWait)
+		}
+	}
+	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries}, ErrOpFailed
+}
+
+// Get reads key through the unicast vring: one UDP datagram out, the
+// object back on the reply stream. Timeouts retry against the (possibly
+// re-mapped) vring.
+func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
+	start := p.Now()
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		c.seq++
+		id := c.seq
+		req := &GetRequest{
+			Key:        key,
+			ReqID:      id,
+			Client:     c.stack.IP(),
+			ClientPort: c.cfg.ReplyPort,
+		}
+		f := sim.NewFuture[any](c.stack.Sim())
+		c.pending[id] = f
+		c.udp.SendTo(c.cfg.Unicast.AddrOfKey(key), c.cfg.DataPort, req, getReqSize)
+		if raw, ok := f.WaitTimeout(p, c.cfg.OpTimeout); ok {
+			rep := raw.(*GetReply)
+			return OpResult{
+				Latency: p.Now() - start,
+				Retries: attempt,
+				Found:   rep.Found,
+				Value:   rep.Value,
+				Size:    rep.Size,
+			}, nil
+		}
+		delete(c.pending, id)
+		if attempt < c.cfg.MaxRetries {
+			p.Sleep(c.cfg.RetryWait)
+		}
+	}
+	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries}, ErrOpFailed
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// pair wires two hosts through a tiny L3 switch and returns their
+// stacks.
+func pair(t *testing.T) (*sim.Simulator, *transport.Stack, *transport.Stack) {
+	t.Helper()
+	s := sim.New(1)
+	nw := netsim.NewNetwork(s)
+	a := nw.NewHost("a", netsim.MustParseIP("10.0.0.1"))
+	b := nw.NewHost("b", netsim.MustParseIP("10.0.0.2"))
+	sw := nw.NewSwitch("sw", 2, time.Microsecond)
+	nw.Connect(a.Port(), sw.Port(0), netsim.Gbps(1, 0))
+	nw.Connect(b.Port(), sw.Port(1), netsim.Gbps(1, 0))
+	hosts := map[netsim.IP]int{a.IP(): 0, b.IP(): 1}
+	macs := map[netsim.IP]netsim.MAC{a.IP(): a.MAC(), b.IP(): b.MAC()}
+	sw.SetPipeline(netsim.PipelineFunc(func(sw *netsim.Switch, pkt *netsim.Packet, in int) {
+		if port, ok := hosts[pkt.DstIP]; ok {
+			c := pkt.Clone()
+			c.DstMAC = macs[pkt.DstIP]
+			sw.Output(port, c)
+			return
+		}
+		sw.Drop(pkt)
+	}))
+	return s, transport.NewStack(a), transport.NewStack(b)
+}
+
+func TestConnPoolPreservesOrderAcrossQueuedSends(t *testing.T) {
+	s, a, b := pair(t)
+	ln := b.MustListen(8000)
+	var got []int
+	s.Spawn("server", func(p *sim.Proc) {
+		conn, ok := ln.Accept(p)
+		if !ok {
+			return
+		}
+		for {
+			m, ok := conn.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, m.Data.(int))
+		}
+	})
+	pool := newConnPool(a)
+	s.At(0, func() {
+		// Burst of sends before the dial even completes: the writer proc
+		// must deliver them in order.
+		for i := 0; i < 10; i++ {
+			pool.Send(b.IP(), 8000, i, 1000)
+		}
+	})
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("received %d messages, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	s.Shutdown()
+}
+
+func TestConnPoolRedialsAfterPeerFailure(t *testing.T) {
+	s, a, b := pair(t)
+	ln := b.MustListen(8000)
+	var got []string
+	s.Spawn("server", func(p *sim.Proc) {
+		for {
+			conn, ok := ln.Accept(p)
+			if !ok {
+				return
+			}
+			s.Spawn("reader", func(p *sim.Proc) {
+				for {
+					m, ok := conn.Recv(p)
+					if !ok {
+						return
+					}
+					got = append(got, m.Data.(string))
+				}
+			})
+		}
+	})
+	pool := newConnPool(a)
+	s.At(0, func() { pool.Send(b.IP(), 8000, "one", 100) })
+	// Cut the peer: the cached writer dies.
+	s.At(50*time.Millisecond, func() { b.Host().SetDown(true) })
+	s.At(60*time.Millisecond, func() { pool.Send(b.IP(), 8000, "lost", 100) })
+	// Peer returns: the next Send must establish a fresh connection.
+	s.At(500*time.Millisecond, func() { b.Host().SetDown(false) })
+	s.At(600*time.Millisecond, func() { pool.Send(b.IP(), 8000, "two", 100) })
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"one": true, "two": true}
+	for _, v := range got {
+		delete(want, v)
+	}
+	if len(want) != 0 {
+		t.Fatalf("messages missing after redial: got %v", got)
+	}
+	s.Shutdown()
+}
+
+func TestObserveTsAdvancesClock(t *testing.T) {
+	s, a, _ := pair(t)
+	cfg := DefaultNodeConfig()
+	cfg.Addr.IP = a.IP()
+	n := NewNode(a, cfg)
+	n.observeTs(kvstore.Timestamp{PrimarySeq: 7})
+	if n.primarySeq != 7 {
+		t.Fatalf("primarySeq = %d, want 7", n.primarySeq)
+	}
+	n.observeTs(kvstore.Timestamp{PrimarySeq: 3}) // older: no regression
+	if n.primarySeq != 7 {
+		t.Fatalf("primarySeq regressed to %d", n.primarySeq)
+	}
+	s.Shutdown()
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		n    int
+		want string
+	}{{0, "0"}, {7, "7"}, {15, "15"}, {120, "120"}} {
+		if got := itoa(c.n); got != c.want {
+			t.Errorf("itoa(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "repro/internal/sim"
+
+// handleGet serves a client read. The switch already chose this replica
+// (primary by default, or per the source-division load-balancing rules),
+// so the node answers from local state. A handoff node missing the object
+// forwards the request to the primary, which replies to the client
+// directly (§4.4).
+func (n *Node) handleGet(p *sim.Proc, req *GetRequest, forwarded bool) {
+	n.stats.Gets++
+	n.cpu.Use(p, n.cfg.CPUPerOp)
+	part := n.cfg.Space.PartitionOf(req.Key)
+
+	if n.handoffFor[part] && !forwarded {
+		if obj, ok := n.store.GetHandoff(p, req.Key); ok {
+			n.pool.Send(req.Client, req.ClientPort,
+				&GetReply{ReqID: req.ReqID, Found: true, Value: obj.Value, Size: obj.Size},
+				obj.Size+replyOverhead)
+			return
+		}
+		v := n.views[part]
+		if v == nil || v.Primary().Index == n.cfg.Addr.Index {
+			// No primary to forward to; answer from the main store.
+			n.replyFromStore(p, req)
+			return
+		}
+		pr := v.Primary()
+		n.stats.GetForwards++
+		n.data.SendTo(pr.IP, pr.DataPort, &ForwardedGet{Req: *req}, getReqSize)
+		return
+	}
+	if forwarded && n.handoffFor[part] {
+		// Forward arrived at a handoff-led partition (everyone else is
+		// gone): answer from the handoff directory as a last resort.
+		if obj, ok := n.store.GetHandoff(p, req.Key); ok {
+			n.pool.Send(req.Client, req.ClientPort,
+				&GetReply{ReqID: req.ReqID, Found: true, Value: obj.Value, Size: obj.Size},
+				obj.Size+replyOverhead)
+			return
+		}
+	}
+	n.replyFromStore(p, req)
+}
+
+// replyFromStore answers a get from the main namespace.
+func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest) {
+	obj, ok := n.store.Get(p, req.Key)
+	rep := &GetReply{ReqID: req.ReqID, Found: ok}
+	size := replyOverhead
+	if ok {
+		rep.Value = obj.Value
+		rep.Size = obj.Size
+		size += obj.Size
+	}
+	n.pool.Send(req.Client, req.ClientPort, rep, size)
+}

@@ -1,0 +1,182 @@
+// Package core implements NICEKV, the paper's key-value store prototype:
+// a storage node running the NICE-2PC consistency protocol over
+// switch-multicast replication (Fig. 3), consistency-aware fault
+// tolerance (handoff service, two-phase rejoin, new-primary lock
+// resolution, §4.4), and a client that addresses the two virtual rings
+// over UDP and collects replies on a stream listener (§5).
+package core
+
+import (
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+)
+
+// Wire-size constants for small protocol messages.
+const (
+	putHeaderSize = 64  // PutRequest framing inside the multicast payload
+	ackSize       = 64  // Ack1/Ack2 datagrams
+	tsMsgSize     = 96  // timestamp multicast (the §4.3 quadruplet + key)
+	getReqSize    = 64  // get request datagram
+	replyOverhead = 64  // reply framing on the stream
+	ctrlMsgSize   = 128 // node-to-controller datagrams
+)
+
+// reqKey identifies one client operation attempt; it keys the primary's
+// and secondaries' in-flight put state.
+type reqKey struct {
+	Client netsim.IP
+	Seq    uint64
+}
+
+// PutRequest is the application message carried by the put multicast:
+// every replica receives the full object plus this header.
+type PutRequest struct {
+	Key        string
+	Value      any
+	Size       int // object bytes
+	Client     netsim.IP
+	ClientPort uint16 // client's reply listener
+	ClientSeq  uint64
+}
+
+func (r *PutRequest) key() reqKey { return reqKey{r.Client, r.ClientSeq} }
+
+// Ack1 is a secondary's first-phase acknowledgment: object locked,
+// logged, and written (Fig. 3).
+type Ack1 struct {
+	Req  reqKey
+	From int // node index
+}
+
+// TsMsg is the primary's timestamp multicast: it commits the put and
+// orders it against other puts to the same key (§4.3).
+type TsMsg struct {
+	Req   reqKey
+	Key   string
+	Ts    kvstore.Timestamp
+	Abort bool // primary aborted the operation; release without applying
+}
+
+// Ack2 is a secondary's second-phase acknowledgment: lock released, log
+// entry dropped.
+type Ack2 struct {
+	Req  reqKey
+	From int
+}
+
+// PutReply is the primary's final answer to the client (on the client's
+// reply stream).
+type PutReply struct {
+	ReqID uint64
+	OK    bool
+	Err   string
+}
+
+// GetRequest is the client's read, sent as one UDP datagram to the
+// unicast vring.
+type GetRequest struct {
+	Key        string
+	ReqID      uint64
+	Client     netsim.IP
+	ClientPort uint16
+}
+
+// GetReply answers a GetRequest on the client's reply stream.
+type GetReply struct {
+	ReqID uint64
+	Found bool
+	Value any
+	Size  int
+}
+
+// ForwardedGet is a handoff node passing a get it cannot serve to the
+// primary, which replies to the client directly (§4.4).
+type ForwardedGet struct {
+	Req GetRequest
+}
+
+// Recovery protocol (over streams).
+
+// FetchHandoffReq asks the handoff node for everything stored on behalf
+// of the recovering node for one partition.
+type FetchHandoffReq struct {
+	Partition int
+}
+
+// FetchHandoffReply returns the handoff objects. Size on the stream is
+// the sum of object sizes, so recovery traffic is charged realistically.
+type FetchHandoffReply struct {
+	Objects []*kvstore.Object
+}
+
+// FetchRangeReq asks a partition's primary for every object in the
+// partition (ring expansion, §4.4: "the node contacts the primary node
+// to retrieve all keys stored in the hash range").
+type FetchRangeReq struct {
+	Partition int
+}
+
+// FetchRangeReply returns the partition's objects.
+type FetchRangeReply struct {
+	Objects []*kvstore.Object
+}
+
+// LockQuery is the new primary's post-promotion probe (§4.4 "failures
+// during put"): which objects does each replica still hold locked, and
+// at what committed version.
+type LockQuery struct {
+	Partition int
+}
+
+// LockInfo describes one locked object at a replica.
+type LockInfo struct {
+	Key    string
+	ReqTag reqKey            // which put this lock belongs to
+	Ts     kvstore.Timestamp // zero until the timestamp was seen
+	Obj    *kvstore.Object   // the prepared object from the WAL
+}
+
+// LockQueryReply lists a replica's locked objects.
+type LockQueryReply struct {
+	From   int
+	Locked []LockInfo
+}
+
+// CommitOrder tells replicas to commit a locked object with the given
+// timestamp (new-primary resolution).
+type CommitOrder struct {
+	Key string
+	Ts  kvstore.Timestamp
+}
+
+// AbortOrder tells replicas to abandon a locked object.
+type AbortOrder struct {
+	Key string
+}
+
+// OrderAck confirms a CommitOrder/AbortOrder.
+type OrderAck struct {
+	Key  string
+	From int
+}
+
+// ResolveRequest asks the current primary of a partition to run lock
+// resolution: sent by a replica stuck with an orphaned locked object
+// after the coordinating primary died mid-put.
+type ResolveRequest struct {
+	Partition int
+}
+
+// VersionQuery asks a replica for its committed versions of keys (round
+// two of new-primary resolution: a version carrying the locked put's
+// client quadruplet proves the old primary committed it somewhere).
+type VersionQuery struct {
+	Keys []string
+}
+
+// VersionReply maps each queried key to its committed version (zero when
+// the replica has no committed copy).
+type VersionReply struct {
+	From int
+	Vers map[string]kvstore.Timestamp
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// NodeConfig parameterizes one NICEKV storage node.
+type NodeConfig struct {
+	Addr           controller.NodeAddr
+	Meta           netsim.IP // metadata service address
+	MetaPort       uint16
+	Space          ring.Space // key -> partition
+	HeartbeatEvery sim.Time
+	// AckTimeout is one protocol-phase wait; a peer missing two in a row
+	// is reported to the metadata service (§4.4 failure detection).
+	AckTimeout sim.Time
+	Disk       kvstore.DiskConfig
+	// QuorumK, when non-zero, makes the primary commit after any K
+	// participants (itself included) finish each phase, mirroring the
+	// any-k multicast transport (§5, §6.3).
+	QuorumK int
+	// CPUPerOp is the per-request processing cost charged on the node's
+	// (serial) CPU; it is what makes a hot node a bottleneck.
+	CPUPerOp sim.Time
+}
+
+// DefaultNodeConfig fills the timing knobs.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{
+		HeartbeatEvery: 500 * time.Millisecond,
+		AckTimeout:     250 * time.Millisecond,
+		Disk:           kvstore.SSD(),
+		CPUPerOp:       25 * time.Microsecond,
+	}
+}
+
+// NodeStats counts protocol activity on one node.
+type NodeStats struct {
+	Puts        int64 // puts participated in (committed)
+	PutsPrimary int64 // puts coordinated as primary
+	Aborts      int64
+	Gets        int64
+	GetForwards int64 // handoff misses forwarded to the primary
+	Reports     int64 // peer-failure reports sent
+	Resolutions int64 // locked objects resolved after promotion
+}
+
+// putState tracks one in-flight put at a participant.
+type putState struct {
+	req  *PutRequest
+	ack1 map[int]bool
+	ack2 map[int]bool
+	sig  *sim.Queue[struct{}]
+	ts   *sim.Future[*TsMsg]
+}
+
+// orphanState buffers protocol messages that raced ahead of the local
+// put handler (acks can outrun the primary's own disk write).
+type orphanState struct {
+	ack1 map[int]bool
+	ack2 map[int]bool
+	ts   *TsMsg
+}
+
+// Node is one NICEKV storage node.
+type Node struct {
+	cfg   NodeConfig
+	stack *transport.Stack
+	s     *sim.Simulator
+	store *kvstore.Store
+	pool  *connPool
+
+	data  *transport.UDPSocket
+	mcast *transport.MulticastReceiver
+	ctrl  *transport.UDPSocket
+
+	views      map[int]*controller.PartitionView
+	handoffFor map[int]bool
+	joined     map[netsim.IP]bool
+
+	puts       map[reqKey]*putState
+	orphans    map[reqKey]*orphanState
+	primarySeq uint64
+	stats      NodeStats
+	recovering bool
+	resolving  map[int]bool  // partitions with a resolution in flight
+	cpu        *sim.Resource // per-node serial processing
+}
+
+// NewNode builds a node on a host's transport stack.
+func NewNode(stack *transport.Stack, cfg NodeConfig) *Node {
+	return &Node{
+		cfg:        cfg,
+		stack:      stack,
+		s:          stack.Sim(),
+		store:      kvstore.New(stack.Sim(), cfg.Disk),
+		pool:       newConnPool(stack),
+		views:      make(map[int]*controller.PartitionView),
+		handoffFor: make(map[int]bool),
+		joined:     make(map[netsim.IP]bool),
+		puts:       make(map[reqKey]*putState),
+		orphans:    make(map[reqKey]*orphanState),
+		resolving:  make(map[int]bool),
+		cpu:        sim.NewResource(stack.Sim()),
+	}
+}
+
+// Store exposes the local engine (tests and experiments inspect it).
+func (n *Node) Store() *kvstore.Store { return n.store }
+
+// Stats returns protocol counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Index returns the node's ring index.
+func (n *Node) Index() int { return n.cfg.Addr.Index }
+
+// IP returns the node's address.
+func (n *Node) IP() netsim.IP { return n.cfg.Addr.IP }
+
+// Start binds the node's endpoints and spawns its service processes.
+func (n *Node) Start() {
+	n.data = n.stack.MustBindUDP(n.cfg.Addr.DataPort)
+	n.mcast = n.stack.MustBindMulticast(n.cfg.Addr.DataPort)
+	n.ctrl = n.stack.MustBindUDP(n.cfg.Addr.CtrlPort)
+	ln := n.stack.MustListen(n.cfg.Addr.DataPort)
+
+	n.s.Spawn(n.name("hb"), n.heartbeatLoop)
+	n.s.Spawn(n.name("ctrl"), n.ctrlLoop)
+	n.s.Spawn(n.name("data"), n.dataLoop)
+	n.s.Spawn(n.name("mcast"), n.mcastLoop)
+	n.s.Spawn(n.name("accept"), func(p *sim.Proc) {
+		for {
+			conn, ok := ln.Accept(p)
+			if !ok {
+				return
+			}
+			n.s.Spawn(n.name("peer"), func(p *sim.Proc) { n.serveConn(p, conn) })
+		}
+	})
+}
+
+func (n *Node) name(role string) string {
+	return "node" + itoa(n.cfg.Addr.Index) + "-" + role
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+// heartbeatLoop reports liveness and load to the metadata service.
+func (n *Node) heartbeatLoop(p *sim.Proc) {
+	for {
+		p.Sleep(n.cfg.HeartbeatEvery)
+		st := n.store.Stats()
+		hs := n.stack.Host().Stats()
+		n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.Heartbeat{
+			Node: n.cfg.Addr.Index,
+			Load: controller.LoadStats{
+				Puts: st.Puts, Gets: st.Gets,
+				BytesIn: hs.BytesRecv, BytesOut: hs.BytesSent,
+			},
+		}, ctrlMsgSize)
+	}
+}
+
+// ctrlLoop applies membership updates from the metadata service.
+func (n *Node) ctrlLoop(p *sim.Proc) {
+	for {
+		d, ok := n.ctrl.Recv(p)
+		if !ok {
+			return
+		}
+		switch m := d.Data.(type) {
+		case *controller.PartitionUpdate:
+			n.applyView(m.View, false)
+		case *controller.HandoffAssign:
+			n.applyView(m.View, true)
+		case *controller.HandoffRelease:
+			n.releaseHandoff(m.Partition)
+		case *controller.RejoinInfo:
+			info := m
+			n.s.Spawn(n.name("recover"), func(p *sim.Proc) { n.recover(p, info) })
+		case *controller.ExpandAssign:
+			view, source := m.View, m.Source
+			n.s.Spawn(n.name("expand"), func(p *sim.Proc) { n.expand(p, view, source) })
+		}
+	}
+}
+
+// applyView installs a new partition view, adjusting multicast
+// subscriptions and detecting promotion to primary.
+func (n *Node) applyView(v *controller.PartitionView, asHandoff bool) {
+	old := n.views[v.Partition]
+	if old != nil && old.Epoch >= v.Epoch {
+		return
+	}
+	me := n.cfg.Addr.Index
+	participating := false
+	for _, r := range v.PutParticipants() {
+		if r.Index == me {
+			participating = true
+		}
+	}
+	if !participating {
+		// We were dropped from this partition (failure of self as seen by
+		// the controller, or handoff release through a fresh view).
+		delete(n.views, v.Partition)
+		n.handoffFor[v.Partition] = false
+		n.leaveGroup(v.GroupIP)
+		return
+	}
+	n.views[v.Partition] = v
+	if asHandoff {
+		n.handoffFor[v.Partition] = true
+	}
+	n.joinGroup(v.GroupIP)
+
+	wasPrimary := old != nil && old.Primary().Index == me
+	isPrimary := v.Primary().Index == me
+	if isPrimary && !wasPrimary && old != nil {
+		// Promoted mid-flight: resolve objects the old primary left
+		// locked (§4.4 "failures during put").
+		n.maybeResolve(v.Partition)
+	}
+}
+
+// maybeResolve runs lock resolution for a partition this node leads,
+// debounced to one run at a time.
+func (n *Node) maybeResolve(part int) {
+	v := n.views[part]
+	if v == nil || v.Primary().Index != n.cfg.Addr.Index || n.resolving[part] {
+		return
+	}
+	n.resolving[part] = true
+	n.s.Spawn(n.name("resolve"), func(p *sim.Proc) {
+		defer func() { n.resolving[part] = false }()
+		n.resolveLocks(p, v)
+	})
+}
+
+func (n *Node) joinGroup(g netsim.IP) {
+	if !n.joined[g] {
+		n.joined[g] = true
+		n.stack.Host().JoinMulticast(g)
+	}
+}
+
+func (n *Node) leaveGroup(g netsim.IP) {
+	// Only leave if no remaining view uses this group.
+	for _, v := range n.views {
+		if v.GroupIP == g {
+			return
+		}
+	}
+	if n.joined[g] {
+		delete(n.joined, g)
+		n.stack.Host().LeaveMulticast(g)
+	}
+}
+
+// releaseHandoff drops handoff data for a partition whose owner is back.
+func (n *Node) releaseHandoff(part int) {
+	n.handoffFor[part] = false
+	for _, obj := range n.store.HandoffObjects() {
+		if n.cfg.Space.PartitionOf(obj.Key) == part {
+			n.store.DeleteHandoff(obj.Key)
+		}
+	}
+	// The controller's follow-up PartitionUpdate (without us) arrives
+	// separately and clears the view.
+	delete(n.views, part)
+}
+
+// dataLoop dispatches datagrams: get requests, protocol acks, timestamp
+// multicasts, forwarded gets, and resolution orders.
+func (n *Node) dataLoop(p *sim.Proc) {
+	for {
+		d, ok := n.data.Recv(p)
+		if !ok {
+			return
+		}
+		switch m := d.Data.(type) {
+		case *GetRequest:
+			req := m
+			n.s.Spawn(n.name("get"), func(p *sim.Proc) { n.handleGet(p, req, false) })
+		case *ForwardedGet:
+			req := m.Req
+			n.s.Spawn(n.name("fwdget"), func(p *sim.Proc) { n.handleGet(p, &req, true) })
+		case *Ack1:
+			if ps := n.puts[m.Req]; ps != nil {
+				ps.ack1[m.From] = true
+				ps.sig.Push(struct{}{})
+			} else {
+				n.orphan(m.Req).ack1[m.From] = true
+			}
+		case *Ack2:
+			if ps := n.puts[m.Req]; ps != nil {
+				ps.ack2[m.From] = true
+				ps.sig.Push(struct{}{})
+			} else {
+				n.orphan(m.Req).ack2[m.From] = true
+			}
+		case *TsMsg:
+			if ps := n.puts[m.Req]; ps != nil {
+				if !ps.ts.Done() {
+					ps.ts.Set(m)
+				}
+			} else {
+				n.lateTs(m)
+			}
+		case *CommitOrder:
+			n.applyCommitOrder(m)
+		case *AbortOrder:
+			n.applyAbortOrder(m)
+		case *ResolveRequest:
+			n.maybeResolve(m.Partition)
+		}
+	}
+}
+
+// orphan returns (allocating) the early-message buffer for req.
+func (n *Node) orphan(k reqKey) *orphanState {
+	o := n.orphans[k]
+	if o == nil {
+		o = &orphanState{ack1: make(map[int]bool), ack2: make(map[int]bool)}
+		n.orphans[k] = o
+		if len(n.orphans) > 4096 {
+			// Bound stale entries from aborted operations.
+			for key := range n.orphans {
+				delete(n.orphans, key)
+				break
+			}
+		}
+	}
+	return o
+}
+
+// registerPut installs put state, merging any messages that arrived
+// early.
+func (n *Node) registerPut(req *PutRequest) *putState {
+	ps := &putState{
+		req:  req,
+		ack1: make(map[int]bool),
+		ack2: make(map[int]bool),
+		sig:  sim.NewQueue[struct{}](n.s),
+		ts:   sim.NewFuture[*TsMsg](n.s),
+	}
+	k := req.key()
+	if o, ok := n.orphans[k]; ok {
+		delete(n.orphans, k)
+		for f := range o.ack1 {
+			ps.ack1[f] = true
+		}
+		for f := range o.ack2 {
+			ps.ack2[f] = true
+		}
+		if o.ts != nil {
+			ps.ts.Set(o.ts)
+		}
+	}
+	n.puts[k] = ps
+	return ps
+}
+
+// mcastLoop receives put transfers and spawns a handler per put.
+func (n *Node) mcastLoop(p *sim.Proc) {
+	for {
+		tr, ok := n.mcast.Recv(p)
+		if !ok {
+			return
+		}
+		req, ok := tr.Data.(*PutRequest)
+		if !ok {
+			continue
+		}
+		n.s.Spawn(n.name("put"), func(p *sim.Proc) { n.handlePut(p, req) })
+	}
+}
+
+// reportFailure accuses a peer to the metadata service.
+func (n *Node) reportFailure(suspect int) {
+	n.stats.Reports++
+	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.FailureReport{
+		Reporter: n.cfg.Addr.Index,
+		Suspect:  suspect,
+	}, ctrlMsgSize)
+}
+
+// Crash cuts the node off the network, emulating a transient fail-stop
+// failure. Persistent state (objects, WAL) survives; in-memory state
+// (locks, in-flight puts) is lost at Restart.
+func (n *Node) Crash() {
+	n.stack.Host().SetDown(true)
+}
+
+// Restart brings a crashed node back: memory state is reset and the node
+// rejoins through the two-phase §4.4 procedure, fetching missed objects
+// from its handoff before becoming get-visible.
+func (n *Node) Restart() {
+	n.stack.Host().SetDown(false)
+	n.store.ResetLocks()
+	n.puts = make(map[reqKey]*putState)
+	n.orphans = make(map[reqKey]*orphanState)
+	n.pool.CloseAll()
+	// Leave all groups until the controller re-adds us.
+	for g := range n.joined {
+		n.stack.Host().LeaveMulticast(g)
+		delete(n.joined, g)
+	}
+	n.views = make(map[int]*controller.PartitionView)
+	n.recovering = true
+	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.RejoinRequest{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+}

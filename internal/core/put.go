@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// Debug enables protocol tracing to stdout (tests only).
+var Debug bool
+
+func dbg(format string, args ...any) {
+	if Debug {
+		fmt.Printf(format+"\n", args...)
+	}
+}
+
+// handlePut runs one replica's side of the NICE-2PC put (Fig. 3). The
+// object arrived complete via the multicast transport; phase one locks,
+// logs and writes it, phase two applies the primary's timestamp.
+func (n *Node) handlePut(p *sim.Proc, req *PutRequest) {
+	part := n.cfg.Space.PartitionOf(req.Key)
+	v := n.views[part]
+	if v == nil {
+		return // stale multicast subscription; not serving this partition
+	}
+	me := n.cfg.Addr.Index
+	isPrimary := v.Primary().Index == me
+
+	ps := n.registerPut(req)
+	defer delete(n.puts, req.key())
+	dbg("%v node%d handlePut %s primary=%v", p.Now(), me, req.Key, isPrimary)
+	n.cpu.Use(p, n.cfg.CPUPerOp)
+
+	// Phase one: lock, +L, W.
+	if !n.store.Lock(p, req.Key, 2*n.cfg.AckTimeout) {
+		n.stats.Aborts++
+		if isPrimary {
+			n.replyPut(req, false, "lock timeout")
+		}
+		return
+	}
+	obj := &kvstore.Object{Key: req.Key, Value: req.Value, Size: req.Size}
+	n.store.AppendLog(p, kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key()})
+	n.store.ChargeWrite(p, req.Size)
+
+	if isPrimary {
+		n.primaryCommit(p, v, req, ps, obj)
+	} else {
+		n.secondaryCommit(p, v, req, ps, obj, part)
+	}
+}
+
+// othersOf lists the put participants excluding this node.
+func (n *Node) othersOf(v *controller.PartitionView) []controller.NodeAddr {
+	var out []controller.NodeAddr
+	for _, r := range v.PutParticipants() {
+		if r.Index != n.cfg.Addr.Index {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// waitAcks waits until at least want of the nodes in need appear in got,
+// tolerating one quiet phase; after a second timeout the missing peers
+// are reported to the metadata service (§4.4) and false is returned.
+func (n *Node) waitAcks(p *sim.Proc, ps *putState, got map[int]bool, need []controller.NodeAddr, want int) bool {
+	timeouts := 0
+	for {
+		present := 0
+		for _, r := range need {
+			if got[r.Index] {
+				present++
+			}
+		}
+		if present >= want {
+			return true
+		}
+		if _, ok := ps.sig.PopTimeout(p, n.cfg.AckTimeout); ok {
+			continue
+		}
+		timeouts++
+		if timeouts >= 2 {
+			for _, r := range need {
+				if !got[r.Index] {
+					n.reportFailure(r.Index)
+				}
+			}
+			return false
+		}
+	}
+}
+
+// primaryCommit coordinates the put: collect first-phase acks, commit
+// with a fresh timestamp, multicast it, collect second-phase acks, and
+// answer the client.
+func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutRequest, ps *putState, obj *kvstore.Object) {
+	others := n.othersOf(v)
+	part := v.Partition
+	want := len(others)
+	if n.cfg.QuorumK > 0 && n.cfg.QuorumK-1 < want {
+		want = n.cfg.QuorumK - 1
+		if want < 0 {
+			want = 0
+		}
+	}
+
+	if !n.waitAcks(p, ps, ps.ack1, others, want) {
+		dbg("%v node%d ABORT %s: ack1=%v want=%d", p.Now(), n.cfg.Addr.Index, req.Key, ps.ack1, want)
+		// Abort: release everyone still waiting, clean up, fail the op.
+		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Abort: true}, tsMsgSize)
+		n.store.DropLog(req.Key)
+		n.store.Unlock(req.Key)
+		n.stats.Aborts++
+		n.replyPut(req, false, "replica unresponsive")
+		return
+	}
+
+	n.primarySeq++
+	ts := kvstore.Timestamp{
+		Primary:    n.cfg.Addr.IP,
+		PrimarySeq: n.primarySeq,
+		Client:     req.Client,
+		ClientSeq:  req.ClientSeq,
+	}
+	obj.Version = ts
+	n.applyLocal(part, obj)
+	n.store.DropLog(req.Key)
+	n.store.Unlock(req.Key)
+	n.stats.Puts++
+	n.stats.PutsPrimary++
+
+	// Commit phase: multicast the timestamp to the replica set.
+	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts}, tsMsgSize)
+
+	if !n.waitAcks(p, ps, ps.ack2, others, want) {
+		// Committed locally and possibly remotely; the client will retry
+		// against the repaired replica set.
+		n.replyPut(req, false, "replica unresponsive in commit phase")
+		return
+	}
+	n.replyPut(req, true, "")
+}
+
+// secondaryCommit acknowledges phase one, waits for the timestamp, and
+// completes the commit. A primary quiet for two phases is reported and
+// the object is left locked and logged for new-primary resolution.
+func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutRequest, ps *putState, obj *kvstore.Object, part int) {
+	me := n.cfg.Addr.Index
+	primary := v.Primary()
+	dbg("%v node%d ack1 -> %d for %s", p.Now(), me, primary.Index, req.Key)
+	n.data.SendTo(primary.IP, primary.DataPort, &Ack1{Req: req.key(), From: me}, ackSize)
+
+	tsm, ok := ps.ts.WaitTimeout(p, n.cfg.AckTimeout)
+	if !ok {
+		tsm, ok = ps.ts.WaitTimeout(p, n.cfg.AckTimeout)
+	}
+	if !ok {
+		n.reportFailure(primary.Index)
+		// The object stays locked and logged. Once the membership change
+		// settles, ask whoever leads the partition then to resolve it.
+		key := req.Key
+		n.s.After(4*n.cfg.AckTimeout, func() {
+			if !n.store.HasLog(key) {
+				return // already resolved
+			}
+			cur := n.views[part]
+			if cur == nil {
+				return
+			}
+			if cur.Primary().Index == n.cfg.Addr.Index {
+				n.maybeResolve(part)
+				return
+			}
+			pr := cur.Primary()
+			n.data.SendTo(pr.IP, pr.DataPort, &ResolveRequest{Partition: part}, ackSize)
+		})
+		return
+	}
+	if tsm.Abort {
+		n.store.DropLog(req.Key)
+		n.store.Unlock(req.Key)
+		n.stats.Aborts++
+		return
+	}
+	n.observeTs(tsm.Ts)
+	obj.Version = tsm.Ts
+	n.applyLocal(part, obj)
+	n.store.DropLog(req.Key)
+	n.store.Unlock(req.Key)
+	n.stats.Puts++
+	n.data.SendTo(primary.IP, primary.DataPort, &Ack2{Req: req.key(), From: me}, ackSize)
+}
+
+// observeTs advances the node's primary logical clock past any witnessed
+// timestamp, so a promoted primary always generates dominating versions.
+func (n *Node) observeTs(ts kvstore.Timestamp) {
+	if ts.PrimarySeq > n.primarySeq {
+		n.primarySeq = ts.PrimarySeq
+	}
+}
+
+// applyLocal installs a committed object in the namespace this node
+// serves the partition from (main store, or the handoff directory when
+// standing in for a failed peer).
+func (n *Node) applyLocal(part int, obj *kvstore.Object) {
+	if n.handoffFor[part] {
+		n.store.ApplyHandoff(obj)
+		return
+	}
+	n.store.Apply(obj)
+}
+
+// replyPut answers the client over its reply stream.
+func (n *Node) replyPut(req *PutRequest, ok bool, errStr string) {
+	n.pool.Send(req.Client, req.ClientPort, &PutReply{ReqID: req.ClientSeq, OK: ok, Err: errStr}, replyOverhead)
+}
+
+// lateTs handles a timestamp that arrived after its put handler gave up
+// (or after a crash recovery re-registered nothing): commit or abort
+// straight from the WAL record, keeping replicas convergent.
+func (n *Node) lateTs(m *TsMsg) {
+	rec, ok := n.store.LogOf(m.Key)
+	if !ok || rec.Tag != any(m.Req) {
+		n.orphan(m.Req).ts = m
+		return
+	}
+	part := n.cfg.Space.PartitionOf(m.Key)
+	if m.Abort {
+		n.store.DropLog(m.Key)
+		if n.store.Locked(m.Key) {
+			n.store.Unlock(m.Key)
+		}
+		n.stats.Aborts++
+		return
+	}
+	obj := rec.Obj
+	n.observeTs(m.Ts)
+	obj.Version = m.Ts
+	n.applyLocal(part, obj)
+	n.store.DropLog(m.Key)
+	if n.store.Locked(m.Key) {
+		n.store.Unlock(m.Key)
+	}
+	n.stats.Puts++
+	if v := n.views[part]; v != nil {
+		pr := v.Primary()
+		n.data.SendTo(pr.IP, pr.DataPort, &Ack2{Req: m.Req, From: n.cfg.Addr.Index}, ackSize)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// recoveryRPCTimeout bounds each recovery-protocol round trip.
+const recoveryRPCTimeout = 2 * time.Second
+
+// serveConn answers peer requests on an inbound stream: handoff fetches
+// during node recovery and lock/version queries during new-primary
+// resolution.
+func (n *Node) serveConn(p *sim.Proc, conn *transport.Conn) {
+	defer conn.Close()
+	for {
+		m, ok := conn.Recv(p)
+		if !ok {
+			return
+		}
+		switch req := m.Data.(type) {
+		case *FetchRangeReq:
+			var objs []*kvstore.Object
+			size := replyOverhead
+			for _, key := range n.store.Keys() {
+				if n.cfg.Space.PartitionOf(key) != req.Partition {
+					continue
+				}
+				if obj, ok := n.store.Peek(key); ok {
+					objs = append(objs, obj)
+					size += obj.Size
+				}
+			}
+			if err := conn.Send(p, &FetchRangeReply{Objects: objs}, size); err != nil {
+				return
+			}
+		case *FetchHandoffReq:
+			var objs []*kvstore.Object
+			size := replyOverhead
+			for _, obj := range n.store.HandoffObjects() {
+				if n.cfg.Space.PartitionOf(obj.Key) == req.Partition {
+					objs = append(objs, obj)
+					size += obj.Size
+				}
+			}
+			if err := conn.Send(p, &FetchHandoffReply{Objects: objs}, size); err != nil {
+				return
+			}
+		case *LockQuery:
+			var locked []LockInfo
+			for _, rec := range n.store.PendingLog() {
+				if n.cfg.Space.PartitionOf(rec.Key) != req.Partition {
+					continue
+				}
+				rk, _ := rec.Tag.(reqKey)
+				locked = append(locked, LockInfo{Key: rec.Key, ReqTag: rk, Obj: rec.Obj, Ts: rec.Ver})
+			}
+			rep := &LockQueryReply{From: n.cfg.Addr.Index, Locked: locked}
+			if err := conn.Send(p, rep, replyOverhead+32*len(locked)); err != nil {
+				return
+			}
+		case *VersionQuery:
+			vers := make(map[string]kvstore.Timestamp, len(req.Keys))
+			for _, k := range req.Keys {
+				if obj, ok := n.store.Peek(k); ok {
+					vers[k] = obj.Version
+				}
+			}
+			rep := &VersionReply{From: n.cfg.Addr.Index, Vers: vers}
+			if err := conn.Send(p, rep, replyOverhead+48*len(vers)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// rpc performs one request/reply exchange on a fresh stream.
+func (n *Node) rpc(p *sim.Proc, to controller.NodeAddr, req any, reqSize int) (any, bool) {
+	conn, err := n.stack.Dial(p, to.IP, to.DataPort)
+	if err != nil {
+		return nil, false
+	}
+	defer conn.Close()
+	if err := conn.Send(p, req, reqSize); err != nil {
+		return nil, false
+	}
+	m, ok := conn.RecvTimeout(p, recoveryRPCTimeout)
+	if !ok {
+		return nil, false
+	}
+	return m.Data, true
+}
+
+// recover executes phase two of rejoin (§4.4 node recovery): the node is
+// already put-visible; it fetches everything it missed from each
+// partition's handoff node, then reports itself consistent.
+func (n *Node) recover(p *sim.Proc, info *controller.RejoinInfo) {
+	for i, v := range info.Views {
+		n.applyView(v, false)
+		h := info.Handoffs[i]
+		if h.IP == 0 {
+			continue // no handoff was available; nothing recorded
+		}
+		raw, ok := n.rpc(p, h, &FetchHandoffReq{Partition: v.Partition}, getReqSize)
+		if !ok {
+			continue
+		}
+		rep, ok := raw.(*FetchHandoffReply)
+		if !ok {
+			continue
+		}
+		for _, obj := range rep.Objects {
+			n.observeTs(obj.Version)
+			n.store.Put(p, obj) // versioned: stale copies are rejected
+		}
+	}
+	n.recovering = false
+	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.ConsistentNotice{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+}
+
+// expand executes a permanent replica-set join (§4.4 ring
+// re-configuration): the node is already put-visible; it fetches the
+// whole key range from the primary and reports itself consistent.
+func (n *Node) expand(p *sim.Proc, view *controller.PartitionView, source controller.NodeAddr) {
+	n.applyView(view, false)
+	raw, ok := n.rpc(p, source, &FetchRangeReq{Partition: view.Partition}, getReqSize)
+	if ok {
+		if rep, isRange := raw.(*FetchRangeReply); isRange {
+			for _, obj := range rep.Objects {
+				n.observeTs(obj.Version)
+				n.store.Put(p, obj)
+			}
+		}
+	}
+	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.ConsistentNotice{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+}
+
+// resolveLocks is the new primary's §4.4 procedure after promotion: find
+// every object still locked anywhere in the partition; commit the ones
+// the old primary committed anywhere (their committed version carries the
+// put's client quadruplet), abort the rest.
+func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView) {
+	part := v.Partition
+	type lockedEnt struct {
+		req reqKey
+		obj *kvstore.Object
+	}
+	locked := make(map[string]lockedEnt)
+	for _, rec := range n.store.PendingLog() {
+		if n.cfg.Space.PartitionOf(rec.Key) == part {
+			if rk, ok := rec.Tag.(reqKey); ok {
+				locked[rec.Key] = lockedEnt{req: rk, obj: rec.Obj}
+			}
+		}
+	}
+	peers := n.othersOf(v)
+	for _, peer := range peers {
+		raw, ok := n.rpc(p, peer, &LockQuery{Partition: part}, getReqSize)
+		if !ok {
+			continue
+		}
+		if rep, ok := raw.(*LockQueryReply); ok {
+			for _, li := range rep.Locked {
+				if _, seen := locked[li.Key]; !seen {
+					locked[li.Key] = lockedEnt{req: li.ReqTag, obj: li.Obj}
+				}
+			}
+		}
+	}
+	if len(locked) == 0 {
+		return
+	}
+
+	keys := make([]string, 0, len(locked))
+	for k := range locked {
+		keys = append(keys, k)
+	}
+	// Round two: who committed what?
+	committed := make(map[string]kvstore.Timestamp)
+	consider := func(k string, ts kvstore.Timestamp) {
+		ent := locked[k]
+		if ts.Client == ent.req.Client && ts.ClientSeq == ent.req.Seq {
+			committed[k] = ts
+		}
+	}
+	for _, k := range keys {
+		if obj, ok := n.store.Peek(k); ok {
+			consider(k, obj.Version)
+		}
+	}
+	for _, peer := range peers {
+		raw, ok := n.rpc(p, peer, &VersionQuery{Keys: keys}, getReqSize+16*len(keys))
+		if !ok {
+			continue
+		}
+		if rep, ok := raw.(*VersionReply); ok {
+			for k, ts := range rep.Vers {
+				consider(k, ts)
+			}
+		}
+	}
+
+	for _, k := range keys {
+		n.stats.Resolutions++
+		if ts, ok := committed[k]; ok {
+			order := &CommitOrder{Key: k, Ts: ts}
+			n.applyCommitOrder(order)
+			for _, peer := range peers {
+				n.data.SendTo(peer.IP, peer.DataPort, order, ackSize)
+			}
+		} else {
+			order := &AbortOrder{Key: k}
+			n.applyAbortOrder(order)
+			for _, peer := range peers {
+				n.data.SendTo(peer.IP, peer.DataPort, order, ackSize)
+			}
+		}
+	}
+}
+
+// applyCommitOrder finishes a resolved put locally: prefer waking the
+// still-blocked handler (it owns the lock); otherwise commit from the
+// WAL.
+func (n *Node) applyCommitOrder(m *CommitOrder) {
+	rec, ok := n.store.LogOf(m.Key)
+	if !ok {
+		return // already resolved here
+	}
+	rk, _ := rec.Tag.(reqKey)
+	if ps := n.puts[rk]; ps != nil && !ps.ts.Done() {
+		ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Ts: m.Ts})
+		return
+	}
+	part := n.cfg.Space.PartitionOf(m.Key)
+	obj := rec.Obj
+	n.observeTs(m.Ts)
+	obj.Version = m.Ts
+	n.applyLocal(part, obj)
+	n.store.DropLog(m.Key)
+	if n.store.Locked(m.Key) {
+		n.store.Unlock(m.Key)
+	}
+	n.stats.Puts++
+}
+
+// applyAbortOrder abandons a resolved put locally.
+func (n *Node) applyAbortOrder(m *AbortOrder) {
+	rec, ok := n.store.LogOf(m.Key)
+	if !ok {
+		return
+	}
+	rk, _ := rec.Tag.(reqKey)
+	if ps := n.puts[rk]; ps != nil && !ps.ts.Done() {
+		ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Abort: true})
+		return
+	}
+	n.store.DropLog(m.Key)
+	if n.store.Locked(m.Key) {
+		n.store.Unlock(m.Key)
+	}
+	n.stats.Aborts++
+}

@@ -1,0 +1,179 @@
+// Package erasure implements Reed-Solomon erasure coding over GF(2^8) —
+// the "other popular technique" for data reliability the paper contrasts
+// with replication (§4.2) — plus a key-value integration that stripes
+// objects into k data + m parity shards across the cluster and
+// reconstructs from any k survivors.
+package erasure
+
+// GF(2^8) arithmetic with the AES/QR-code reducing polynomial x^8 + x^4
+// + x^3 + x^2 + 1 (0x11d), via exp/log tables.
+
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // doubled so mul can skip a modulo
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[byte(x)] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// gfMul multiplies in GF(2^8).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfDiv divides in GF(2^8); dividing by zero panics.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+255-int(gfLog[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfExpPow returns a^n for a != 0.
+func gfPow(a byte, n int) byte {
+	if a == 0 {
+		if n == 0 {
+			return 1
+		}
+		return 0
+	}
+	idx := (int(gfLog[a]) * n) % 255
+	if idx < 0 {
+		idx += 255
+	}
+	return gfExp[idx]
+}
+
+// matrix is a dense GF(256) matrix, row major.
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m *matrix) swapRows(a, b int) {
+	if a == b {
+		return
+	}
+	ra, rb := m.row(a), m.row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// mul returns m x o.
+func (m *matrix) mul(o *matrix) *matrix {
+	if m.cols != o.rows {
+		panic("erasure: matrix dimension mismatch")
+	}
+	out := newMatrix(m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < o.cols; c++ {
+			var acc byte
+			for k := 0; k < m.cols; k++ {
+				acc ^= gfMul(m.at(r, k), o.at(k, c))
+			}
+			out.set(r, c, acc)
+		}
+	}
+	return out
+}
+
+// invert returns m^-1 via Gauss-Jordan; m must be square and
+// non-singular (ok=false otherwise).
+func (m *matrix) invert() (*matrix, bool) {
+	if m.rows != m.cols {
+		return nil, false
+	}
+	n := m.rows
+	work := newMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(work.row(r)[:n], m.row(r))
+		work.set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		work.swapRows(col, pivot)
+		inv := gfInv(work.at(col, col))
+		row := work.row(col)
+		for i := range row {
+			row[i] = gfMul(row[i], inv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work.at(r, col) == 0 {
+				continue
+			}
+			factor := work.at(r, col)
+			target := work.row(r)
+			for i := range row {
+				target[i] ^= gfMul(factor, row[i])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.row(r), work.row(r)[n:])
+	}
+	return out, true
+}
+
+// vandermonde builds the systematic encoding matrix for (k, m): the top
+// k rows are the identity (data shards pass through), the bottom m rows
+// generate parity. It is derived from a (k+m) x k Vandermonde matrix
+// made systematic by multiplying with the inverse of its top square,
+// which preserves the property that every k x k submatrix is invertible.
+func vandermonde(k, m int) *matrix {
+	v := newMatrix(k+m, k)
+	for r := 0; r < k+m; r++ {
+		for c := 0; c < k; c++ {
+			v.set(r, c, gfPow(gfExp[r], c))
+		}
+	}
+	top := newMatrix(k, k)
+	for r := 0; r < k; r++ {
+		copy(top.row(r), v.row(r))
+	}
+	topInv, ok := top.invert()
+	if !ok {
+		panic("erasure: Vandermonde top square not invertible")
+	}
+	return v.mul(topInv)
+}

@@ -1,0 +1,119 @@
+package erasure
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ObjectStore is the slice of a key-value client the EC layer needs;
+// core.Client is adapted to it in package cluster.
+type ObjectStore interface {
+	Put(p *sim.Proc, key string, value any, size int) error
+	// Get returns (value, found, error).
+	Get(p *sim.Proc, key string) (any, bool, error)
+}
+
+// KV stripes each object into K data + M parity shards and stores them
+// as independent keys — which consistent hashing then spreads over
+// distinct partitions/nodes. Reads fetch the data shards and fall back
+// to parity + reconstruction when some are unavailable, tolerating M
+// lost shards at (K+M)/K storage overhead instead of replication's Rx
+// (§4.2's "other popular technique").
+type KV struct {
+	code  *Code
+	store ObjectStore
+}
+
+// NewKV builds the EC layer over a store.
+func NewKV(code *Code, store ObjectStore) *KV {
+	return &KV{code: code, store: store}
+}
+
+// shardKey names shard i of key.
+func shardKey(key string, i int) string { return fmt.Sprintf("%s/ec%d", key, i) }
+
+// ecShard is the stored per-shard value.
+type ecShard struct {
+	Index   int
+	DataLen int // original object length
+	Bytes   []byte
+}
+
+// Put encodes data and writes all K+M shards concurrently.
+func (kv *KV) Put(p *sim.Proc, key string, data []byte) error {
+	shards := kv.code.Encode(data)
+	s := p.Sim()
+	g := sim.NewGroup(s)
+	var firstErr error
+	for i, sh := range shards {
+		i, sh := i, sh
+		g.Add(1)
+		s.Spawn("ec-put", func(p *sim.Proc) {
+			defer g.Done()
+			val := &ecShard{Index: i, DataLen: len(data), Bytes: sh}
+			if err := kv.store.Put(p, shardKey(key, i), val, len(sh)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	g.Wait(p)
+	return firstErr
+}
+
+// Get fetches the K data shards (and, if any are missing, every parity
+// shard), reconstructs as needed, and returns the original bytes.
+func (kv *KV) Get(p *sim.Proc, key string) ([]byte, error) {
+	shards := make([][]byte, kv.code.Shards())
+	dataLen := -1
+
+	fetch := func(p *sim.Proc, idxs []int) {
+		s := p.Sim()
+		g := sim.NewGroup(s)
+		for _, i := range idxs {
+			i := i
+			g.Add(1)
+			s.Spawn("ec-get", func(p *sim.Proc) {
+				defer g.Done()
+				raw, found, err := kv.store.Get(p, shardKey(key, i))
+				if err != nil || !found {
+					return
+				}
+				if sh, ok := raw.(*ecShard); ok {
+					shards[i] = sh.Bytes
+					dataLen = sh.DataLen
+				}
+			})
+		}
+		g.Wait(p)
+	}
+
+	// Fast path: the data shards.
+	idxs := make([]int, kv.code.K)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	fetch(p, idxs)
+
+	missing := 0
+	for i := 0; i < kv.code.K; i++ {
+		if shards[i] == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		// Degraded read: pull the parity shards and reconstruct.
+		var parity []int
+		for i := kv.code.K; i < kv.code.Shards(); i++ {
+			parity = append(parity, i)
+		}
+		fetch(p, parity)
+		if err := kv.code.Reconstruct(shards); err != nil {
+			return nil, fmt.Errorf("erasure: degraded read failed: %w", err)
+		}
+	}
+	if dataLen < 0 {
+		return nil, fmt.Errorf("erasure: object %q not found", key)
+	}
+	return kv.code.Join(shards, dataLen)
+}

@@ -1,0 +1,194 @@
+package erasure
+
+import "fmt"
+
+// Code is a systematic Reed-Solomon code with k data shards and m parity
+// shards: any k of the k+m shards reconstruct the original data, so the
+// code survives any m erasures at a storage overhead of (k+m)/k — versus
+// R x for R-way replication at the same fault tolerance m = R-1.
+type Code struct {
+	K, M int
+	enc  *matrix // (k+m) x k systematic encoding matrix
+}
+
+// NewCode builds a code; k and m must be positive with k+m <= 256.
+func NewCode(k, m int) (*Code, error) {
+	if k <= 0 || m <= 0 || k+m > 256 {
+		return nil, fmt.Errorf("erasure: invalid code parameters k=%d m=%d", k, m)
+	}
+	return &Code{K: k, M: m, enc: vandermonde(k, m)}, nil
+}
+
+// MustCode is NewCode that panics on error.
+func MustCode(k, m int) *Code {
+	c, err := NewCode(k, m)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Shards returns the total shard count k+m.
+func (c *Code) Shards() int { return c.K + c.M }
+
+// ShardSize returns the per-shard size for an object of dataLen bytes.
+func (c *Code) ShardSize(dataLen int) int { return (dataLen + c.K - 1) / c.K }
+
+// Encode splits data into k equal shards (zero padded) and computes the
+// m parity shards; it returns all k+m shards.
+func (c *Code) Encode(data []byte) [][]byte {
+	size := c.ShardSize(len(data))
+	if size == 0 {
+		size = 1
+	}
+	shards := make([][]byte, c.Shards())
+	for i := 0; i < c.K; i++ {
+		shards[i] = make([]byte, size)
+		start := i * size
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	for i := c.K; i < c.Shards(); i++ {
+		shards[i] = make([]byte, size)
+		row := c.enc.row(i)
+		for j := 0; j < c.K; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			src := shards[j]
+			dst := shards[i]
+			for b := range src {
+				dst[b] ^= gfMul(coef, src[b])
+			}
+		}
+	}
+	return shards
+}
+
+// Reconstruct fills in the missing (nil) shards in place. It needs at
+// least k present shards of equal size.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.Shards() {
+		return fmt.Errorf("erasure: want %d shards, got %d", c.Shards(), len(shards))
+	}
+	present := make([]int, 0, c.K)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard size mismatch")
+		}
+		present = append(present, i)
+	}
+	if len(present) < c.K {
+		return fmt.Errorf("erasure: only %d of %d required shards present", len(present), c.K)
+	}
+	present = present[:c.K]
+
+	// Decode matrix: the k encoding rows of the surviving shards.
+	dec := newMatrix(c.K, c.K)
+	for r, idx := range present {
+		copy(dec.row(r), c.enc.row(idx))
+	}
+	inv, ok := dec.invert()
+	if !ok {
+		return fmt.Errorf("erasure: singular decode matrix")
+	}
+
+	// Recover missing data shards: data[j] = inv[j] . survivors.
+	survivors := make([][]byte, c.K)
+	for r, idx := range present {
+		survivors[r] = shards[idx]
+	}
+	recover := func(row []byte) []byte {
+		out := make([]byte, size)
+		for j := 0; j < c.K; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			src := survivors[j]
+			for b := range src {
+				out[b] ^= gfMul(coef, src[b])
+			}
+		}
+		return out
+	}
+	for i := 0; i < c.K; i++ {
+		if shards[i] == nil {
+			shards[i] = recover(inv.row(i))
+		}
+	}
+	// Re-derive any missing parity from the (now complete) data shards.
+	for i := c.K; i < c.Shards(); i++ {
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.enc.row(i)
+		for j := 0; j < c.K; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			src := shards[j]
+			for b := range src {
+				out[b] ^= gfMul(coef, src[b])
+			}
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// Join reassembles the original data of length dataLen from the data
+// shards (which must all be present — call Reconstruct first).
+func (c *Code) Join(shards [][]byte, dataLen int) ([]byte, error) {
+	if len(shards) < c.K {
+		return nil, fmt.Errorf("erasure: want >= %d shards", c.K)
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < c.K && len(out) < dataLen; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("erasure: data shard %d missing", i)
+		}
+		need := dataLen - len(out)
+		if need > len(shards[i]) {
+			need = len(shards[i])
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	return out, nil
+}
+
+// Verify recomputes the parity and reports whether it matches.
+func (c *Code) Verify(shards [][]byte) bool {
+	if len(shards) != c.Shards() {
+		return false
+	}
+	for _, s := range shards {
+		if s == nil {
+			return false
+		}
+	}
+	size := len(shards[0])
+	for i := c.K; i < c.Shards(); i++ {
+		row := c.enc.row(i)
+		for b := 0; b < size; b++ {
+			var acc byte
+			for j := 0; j < c.K; j++ {
+				acc ^= gfMul(row[j], shards[j][b])
+			}
+			if acc != shards[i][b] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// a * inv(a) == 1 for all non-zero a.
+	for a := 1; a < 256; a++ {
+		if gfMul(byte(a), gfInv(byte(a))) != 1 {
+			t.Fatalf("inv broken for %d", a)
+		}
+	}
+	// Distributivity on random triples.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("distributivity broken at %d,%d,%d", a, b, c)
+		}
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("commutativity broken at %d,%d", a, b)
+		}
+	}
+	if gfMul(0, 77) != 0 || gfMul(77, 0) != 0 {
+		t.Fatal("zero annihilation broken")
+	}
+}
+
+func TestGFPow(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		acc := byte(1)
+		for n := 0; n < 10; n++ {
+			if gfPow(byte(a), n) != acc {
+				t.Fatalf("pow(%d,%d) mismatch", a, n)
+			}
+			acc = gfMul(acc, byte(a))
+		}
+	}
+}
+
+func TestMatrixInvert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := newMatrix(n, n)
+		for i := range m.data {
+			m.data[i] = byte(rng.Intn(256))
+		}
+		inv, ok := m.invert()
+		if !ok {
+			continue // singular random matrix; fine
+		}
+		prod := m.mul(inv)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				want := byte(0)
+				if r == c {
+					want = 1
+				}
+				if prod.at(r, c) != want {
+					t.Fatalf("m * m^-1 != I at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCodeValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 2}, {4, 0}, {200, 100}} {
+		if _, err := NewCode(bad[0], bad[1]); err == nil {
+			t.Errorf("NewCode(%d,%d) accepted", bad[0], bad[1])
+		}
+	}
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	c := MustCode(4, 2)
+	data := []byte("the quick brown fox jumps over the lazy dog 0123456789")
+	shards := c.Encode(data)
+	if len(shards) != 6 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	if !c.Verify(shards) {
+		t.Fatal("fresh encoding does not verify")
+	}
+	out, err := c.Join(shards, len(data))
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("join = %q, %v", out, err)
+	}
+	// Corruption is detected.
+	shards[1][0] ^= 0xff
+	if c.Verify(shards) {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestReconstructAnyErasures(t *testing.T) {
+	// Every possible m-subset of erasures must be recoverable.
+	c := MustCode(4, 2)
+	data := make([]byte, 1000)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+	orig := c.Encode(data)
+	n := c.Shards()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			shards := make([][]byte, n)
+			for i := range shards {
+				if i == a || i == b {
+					continue
+				}
+				shards[i] = append([]byte(nil), orig[i]...)
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("erasures {%d,%d}: %v", a, b, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("erasures {%d,%d}: shard %d wrong after reconstruct", a, b, i)
+				}
+			}
+			out, err := c.Join(shards, len(data))
+			if err != nil || !bytes.Equal(out, data) {
+				t.Fatalf("erasures {%d,%d}: join failed", a, b)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c := MustCode(3, 2)
+	orig := c.Encode([]byte("hello world, hello world"))
+	shards := make([][]byte, c.Shards())
+	shards[0] = orig[0]
+	shards[3] = orig[3] // only 2 of 3 required
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("reconstruct succeeded with k-1 shards")
+	}
+}
+
+// Property: random data, random (k, m), random erasure pattern of size
+// <= m always round trips.
+func TestReconstructProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		c := MustCode(k, m)
+		data := make([]byte, 1+r.Intn(5000))
+		r.Read(data)
+		orig := c.Encode(data)
+		shards := make([][]byte, c.Shards())
+		for i := range shards {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		// Erase up to m shards.
+		for _, idx := range r.Perm(c.Shards())[:r.Intn(m+1)] {
+			shards[idx] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		out, err := c.Join(shards, len(data))
+		return err == nil && bytes.Equal(out, data)
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageOverheadVsReplication(t *testing.T) {
+	// The §4.2 trade-off: EC(4,2) survives 2 failures at 1.5x storage;
+	// R=3 replication survives 2 failures at 3x.
+	c := MustCode(4, 2)
+	data := make([]byte, 4096)
+	shards := c.Encode(data)
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if got := float64(total) / float64(len(data)); got != 1.5 {
+		t.Fatalf("EC(4,2) overhead = %.2fx, want 1.5x", got)
+	}
+}
+
+func BenchmarkEncode4_2_64KB(b *testing.B) {
+	c := MustCode(4, 2)
+	data := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkReconstruct4_2_64KB(b *testing.B) {
+	c := MustCode(4, 2)
+	data := make([]byte, 64<<10)
+	orig := c.Encode(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, c.Shards())
+		for j := range shards {
+			if j == 0 || j == 3 {
+				continue
+			}
+			shards[j] = orig[j]
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

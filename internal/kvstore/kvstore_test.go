@@ -1,0 +1,284 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func ts(pseq, cseq uint64) Timestamp {
+	return Timestamp{
+		Primary: netsim.MustParseIP("10.0.0.1"), PrimarySeq: pseq,
+		Client: netsim.MustParseIP("192.168.0.1"), ClientSeq: cseq,
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	if !ts(1, 5).Less(ts(2, 1)) {
+		t.Fatal("primary seq must dominate")
+	}
+	if !ts(1, 1).Less(ts(1, 2)) {
+		t.Fatal("client seq must break ties")
+	}
+	if ts(2, 2).Less(ts(2, 2)) {
+		t.Fatal("timestamp not irreflexive")
+	}
+	a := ts(3, 1)
+	b := a
+	b.Primary = netsim.MustParseIP("10.0.0.2")
+	if a.Less(b) == b.Less(a) {
+		t.Fatal("primary IP tie-break not antisymmetric")
+	}
+	if !(Timestamp{}).IsZero() || ts(1, 0).IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestTimestampTotalOrderProperty(t *testing.T) {
+	f := func(p1, c1, p2, c2 uint64) bool {
+		a, b := ts(p1, c1), ts(p2, c2)
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) != b.Less(a) // exactly one direction
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func run(t *testing.T, disk DiskConfig, fn func(p *sim.Proc, st *Store)) {
+	t.Helper()
+	s := sim.New(1)
+	st := New(s, disk)
+	s.Spawn("test", func(p *sim.Proc) { fn(p, st) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	run(t, NullDisk(), func(p *sim.Proc, st *Store) {
+		obj := &Object{Key: "k", Value: "v", Size: 3, Version: ts(1, 1)}
+		if !st.Put(p, obj) {
+			t.Error("fresh put rejected")
+		}
+		got, ok := st.Get(p, "k")
+		if !ok || got.Value != "v" {
+			t.Errorf("Get = %+v, %v", got, ok)
+		}
+		if _, ok := st.Get(p, "missing"); ok {
+			t.Error("missing key returned")
+		}
+		if st.Stats().GetMisses != 1 || st.Stats().Puts != 1 {
+			t.Errorf("stats %+v", st.Stats())
+		}
+	})
+}
+
+func TestPutVersioning(t *testing.T) {
+	run(t, NullDisk(), func(p *sim.Proc, st *Store) {
+		st.Put(p, &Object{Key: "k", Value: "new", Size: 3, Version: ts(5, 1)})
+		if st.Put(p, &Object{Key: "k", Value: "stale", Size: 5, Version: ts(3, 9)}) {
+			t.Error("stale version overwrote newer")
+		}
+		if got, _ := st.Peek("k"); got.Value != "new" {
+			t.Errorf("value = %v", got.Value)
+		}
+		if !st.Put(p, &Object{Key: "k", Value: "newest", Size: 6, Version: ts(7, 1)}) {
+			t.Error("newer version rejected")
+		}
+		if st.Stats().BytesOnDisk != 6 {
+			t.Errorf("BytesOnDisk = %d, want 6", st.Stats().BytesOnDisk)
+		}
+	})
+}
+
+func TestDiskTimingCharged(t *testing.T) {
+	disk := DiskConfig{WriteLatency: 100 * time.Microsecond, WriteBps: 100e6}
+	run(t, disk, func(p *sim.Proc, st *Store) {
+		start := p.Now()
+		st.Put(p, &Object{Key: "k", Value: "v", Size: 1000000, Version: ts(1, 1)})
+		took := p.Now() - start
+		want := 100*time.Microsecond + 10*time.Millisecond // latency + 1MB/100MBps
+		if took != want {
+			t.Errorf("put took %v, want %v", took, want)
+		}
+	})
+}
+
+func TestLockMutualExclusionFIFO(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, NullDisk())
+	var order []string
+	hold := func(name string, delay sim.Time) {
+		s.Spawn(name, func(p *sim.Proc) {
+			p.Sleep(delay)
+			if !st.Lock(p, "k", 0) {
+				t.Error("untimed lock failed")
+				return
+			}
+			order = append(order, name)
+			p.Sleep(10 * time.Millisecond)
+			st.Unlock("k")
+		})
+	}
+	hold("a", 0)
+	hold("b", time.Millisecond)
+	hold("c", 2*time.Millisecond)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestLockTimeout(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, NullDisk())
+	var timedOut bool
+	var gotLater bool
+	s.Spawn("holder", func(p *sim.Proc) {
+		st.Lock(p, "k", 0)
+		p.Sleep(50 * time.Millisecond)
+		st.Unlock("k")
+	})
+	s.Spawn("waiter", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		if !st.Lock(p, "k", 10*time.Millisecond) {
+			timedOut = true
+		}
+		// After the holder releases, the lock must be acquirable again —
+		// i.e. the timed-out waiter really withdrew.
+		p.Sleep(60 * time.Millisecond)
+		if st.Lock(p, "k", time.Millisecond) {
+			gotLater = true
+			st.Unlock("k")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !timedOut || !gotLater {
+		t.Fatalf("timedOut=%v gotLater=%v", timedOut, gotLater)
+	}
+}
+
+func TestUnlockUnheldPanics(t *testing.T) {
+	s := sim.New(1)
+	st := New(s, NullDisk())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	st.Unlock("nope")
+}
+
+func TestWAL(t *testing.T) {
+	run(t, NullDisk(), func(p *sim.Proc, st *Store) {
+		rec := LogRecord{Key: "k", Size: 10, Ver: ts(1, 1)}
+		st.AppendLog(p, rec)
+		if !st.HasLog("k") {
+			t.Error("log record missing")
+		}
+		pend := st.PendingLog()
+		if len(pend) != 1 || pend[0].Key != "k" {
+			t.Errorf("PendingLog = %v", pend)
+		}
+		st.DropLog("k")
+		if st.HasLog("k") || len(st.PendingLog()) != 0 {
+			t.Error("log record not dropped")
+		}
+	})
+}
+
+func TestHandoffNamespaceIsSeparate(t *testing.T) {
+	run(t, NullDisk(), func(p *sim.Proc, st *Store) {
+		st.PutHandoff(p, &Object{Key: "h", Value: 1, Size: 1, Version: ts(1, 1)})
+		if _, ok := st.Get(p, "h"); ok {
+			t.Error("handoff object visible in main namespace")
+		}
+		if got, ok := st.GetHandoff(p, "h"); !ok || got.Value != 1 {
+			t.Error("handoff object missing")
+		}
+		st.Put(p, &Object{Key: "m", Value: 2, Size: 1, Version: ts(1, 2)})
+		if _, ok := st.GetHandoff(p, "m"); ok {
+			t.Error("main object visible in handoff namespace")
+		}
+		if st.HandoffLen() != 1 || len(st.HandoffObjects()) != 1 {
+			t.Error("handoff enumeration wrong")
+		}
+		st.ClearHandoff()
+		if st.HandoffLen() != 0 {
+			t.Error("handoff not cleared")
+		}
+	})
+}
+
+func TestKeysEnumeration(t *testing.T) {
+	run(t, NullDisk(), func(p *sim.Proc, st *Store) {
+		for i := 0; i < 10; i++ {
+			st.Put(p, &Object{Key: fmt.Sprintf("k%d", i), Size: 1, Version: ts(uint64(i+1), 0)})
+		}
+		if len(st.Keys()) != 10 || st.Len() != 10 {
+			t.Errorf("Keys = %d, Len = %d", len(st.Keys()), st.Len())
+		}
+	})
+}
+
+// Property: applying any interleaving of versions leaves the store at the
+// maximum version.
+func TestVersionConvergenceProperty(t *testing.T) {
+	f := func(seqs []uint64) bool {
+		if len(seqs) == 0 {
+			return true
+		}
+		if len(seqs) > 32 {
+			seqs = seqs[:32]
+		}
+		s := sim.New(1)
+		st := New(s, NullDisk())
+		var max uint64
+		ok := true
+		s.Spawn("t", func(p *sim.Proc) {
+			for _, q := range seqs {
+				st.Put(p, &Object{Key: "k", Value: q, Size: 1, Version: ts(q, 0)})
+				if q > max {
+					max = q
+				}
+			}
+			got, _ := st.Peek("k")
+			ok = got != nil && got.Version.PrimarySeq == max
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStorePutGet(b *testing.B) {
+	s := sim.New(1)
+	st := New(s, NullDisk())
+	n := b.N
+	s.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			st.Put(p, &Object{Key: "k", Value: i, Size: 64, Version: ts(uint64(i+1), 0)})
+			st.Get(p, "k")
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package metrics provides the measurement plumbing the experiments use:
+// latency histograms, throughput time series, and simple formatting
+// helpers for the figure outputs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Histogram accumulates latency samples (or any durations).
+type Histogram struct {
+	samples []float64 // seconds
+	sorted  bool
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d sim.Time) {
+	h.samples = append(h.samples, d.Seconds())
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the average in seconds (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Stddev returns the population standard deviation in seconds.
+func (h *Histogram) Stddev() float64 {
+	if len(h.samples) < 2 {
+		return 0
+	}
+	m := h.Mean()
+	var ss float64
+	for _, v := range h.samples {
+		ss += (v - m) * (v - m)
+	}
+	return math.Sqrt(ss / float64(len(h.samples)))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile in seconds, p in [0,100].
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Min returns the smallest sample in seconds.
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+// Max returns the largest sample in seconds.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// MeanDuration returns the mean as a sim.Time.
+func (h *Histogram) MeanDuration() sim.Time {
+	return sim.Time(h.Mean() * float64(time.Second))
+}
+
+// TimeSeries buckets event counts by time: the ops/sec timelines of
+// Fig. 11.
+type TimeSeries struct {
+	Bucket sim.Time
+	counts map[int]float64
+	max    int
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(bucket sim.Time) *TimeSeries {
+	return &TimeSeries{Bucket: bucket, counts: make(map[int]float64)}
+}
+
+// Add records weight w at time t.
+func (ts *TimeSeries) Add(t sim.Time, w float64) {
+	b := int(t / ts.Bucket)
+	ts.counts[b] += w
+	if b > ts.max {
+		ts.max = b
+	}
+}
+
+// Values returns one value per bucket from time zero through the last
+// recorded bucket, normalized to events per second.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, ts.max+1)
+	perSec := ts.Bucket.Seconds()
+	for b, c := range ts.counts {
+		out[b] = c / perSec
+	}
+	return out
+}
+
+// FormatBytes renders a byte count with binary units, for figure tables.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// FormatSize renders an object size the way the paper labels its x-axes.
+func FormatSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n/(1<<20))
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		h.Add(sim.Time(ms) * time.Millisecond)
+	}
+	if h.N() != 4 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Mean(); got < 0.0249 || got > 0.0251 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := h.Min(); got != 0.010 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := h.Max(); got != 0.040 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := h.Percentile(50); got != 0.020 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := h.Percentile(100); got != 0.040 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if h.Stddev() <= 0 {
+		t.Fatal("Stddev should be positive")
+	}
+	if h.MeanDuration() != 25*time.Millisecond {
+		t.Fatalf("MeanDuration = %v", h.MeanDuration())
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * time.Millisecond)
+	}
+	prev := 0.0
+	for p := 1.0; p <= 100; p++ {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at %v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(100*time.Millisecond, 1)
+	ts.Add(900*time.Millisecond, 1)
+	ts.Add(1500*time.Millisecond, 1)
+	ts.Add(3200*time.Millisecond, 4)
+	v := ts.Values()
+	if len(v) != 4 {
+		t.Fatalf("len = %d", len(v))
+	}
+	want := []float64{2, 1, 0, 4}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+	sizes := map[int]string{
+		4:       "4B",
+		1024:    "1KB",
+		65536:   "64KB",
+		1 << 20: "1MB",
+		1500:    "1500B",
+	}
+	for n, want := range sizes {
+		if got := FormatSize(n); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

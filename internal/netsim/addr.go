@@ -1,0 +1,144 @@
+// Package netsim is a packet-level network simulator built on the sim
+// kernel. It models hosts, full-duplex links with finite bandwidth and
+// propagation delay, and store-and-forward switches with pluggable
+// forwarding pipelines (package openflow provides the OpenFlow-style
+// pipeline used by NICE).
+//
+// Timing model: transmitting a packet of S bytes on a link of bandwidth B
+// occupies the link's transmit direction for S*8/B seconds (FIFO
+// serialization; concurrent senders queue), and the packet arrives at the
+// far end one propagation delay after serialization completes. Switches add
+// a fixed per-packet pipeline latency. Every link direction and host counts
+// bytes and packets, which is how the experiments measure network and
+// storage-node load.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// IPv4 assembles an IP from its four octets.
+func IPv4(a, b, c, d byte) IP {
+	return IP(a)<<24 | IP(b)<<16 | IP(c)<<8 | IP(d)
+}
+
+// ParseIP parses dotted-quad notation ("10.1.0.3").
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: bad IP %q", s)
+	}
+	var ip IP
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("netsim: bad IP %q", s)
+		}
+		ip = ip<<8 | IP(n)
+	}
+	return ip, nil
+}
+
+// MustParseIP is ParseIP that panics on malformed input; for constants in
+// tests and topology setup.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String renders dotted-quad notation.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Add returns ip offset by n addresses.
+func (ip IP) Add(n uint32) IP { return ip + IP(n) }
+
+// Prefix is a CIDR block: the Bits high-order bits of Addr are
+// significant. The zero Prefix matches every address (a wildcard).
+type Prefix struct {
+	Addr IP
+	Bits int
+}
+
+// PrefixOf builds a prefix, masking Addr to its network part.
+func PrefixOf(addr IP, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netsim: bad prefix length %d", bits))
+	}
+	return Prefix{Addr: addr & mask(bits), Bits: bits}
+}
+
+// HostPrefix is the /32 prefix matching exactly addr.
+func HostPrefix(addr IP) Prefix { return Prefix{Addr: addr, Bits: 32} }
+
+// ParsePrefix parses "10.10.0.0/16".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("netsim: bad prefix %q", s)
+	}
+	ip, err := ParseIP(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[slash+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netsim: bad prefix %q", s)
+	}
+	return PrefixOf(ip, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on malformed input.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mask(bits int) IP {
+	if bits == 0 {
+		return 0
+	}
+	return ^IP(0) << (32 - bits)
+}
+
+// Contains reports whether addr falls inside the prefix. The zero Prefix
+// contains everything.
+func (p Prefix) Contains(addr IP) bool {
+	return addr&mask(p.Bits) == p.Addr
+}
+
+// IsWildcard reports whether the prefix matches all addresses.
+func (p Prefix) IsWildcard() bool { return p.Bits == 0 }
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// Nth returns the n-th address inside the prefix.
+func (p Prefix) Nth(n uint32) IP { return p.Addr + IP(n) }
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// MAC is a 48-bit link-layer address stored in the low bits of a uint64.
+type MAC uint64
+
+// BroadcastMAC is the all-ones link-layer broadcast address.
+const BroadcastMAC MAC = 0xffffffffffff
+
+// String renders colon-separated hex octets.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}

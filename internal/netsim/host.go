@@ -1,0 +1,177 @@
+package netsim
+
+import "repro/internal/sim"
+
+// HostStats count application traffic through a host's NIC; the storage
+// load-ratio experiment (Fig. 7) reads these.
+type HostStats struct {
+	BytesSent int64
+	BytesRecv int64
+	PktsSent  int64
+	PktsRecv  int64
+}
+
+// Host is an end system with a single NIC. The transport layer (package
+// transport) registers a handler to receive packets; the host itself
+// implements the small amount of "OS kernel" behaviour the paper assumes:
+// answering ARP for its own address, an ARP cache, and IP multicast group
+// subscription filtering.
+type Host struct {
+	name    string
+	net     *Network
+	ip      IP
+	mac     MAC
+	port    *Port
+	handler func(pkt *Packet)
+	arp     map[IP]MAC
+	mcast   map[IP]bool // subscribed multicast group addresses
+	stats   HostStats
+	down    bool
+	nextID  *uint64
+}
+
+// NewHost creates a host attached to the network with the given address.
+func (n *Network) NewHost(name string, ip IP) *Host {
+	h := &Host{
+		name:   name,
+		net:    n,
+		ip:     ip,
+		mac:    n.nextMAC(),
+		arp:    make(map[IP]MAC),
+		mcast:  make(map[IP]bool),
+		nextID: &n.pktID,
+	}
+	h.port = &Port{Dev: h, Index: 0, Name: name + ":eth0"}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// DeviceName implements Device.
+func (h *Host) DeviceName() string { return h.name }
+
+// Network implements Device.
+func (h *Host) Network() *Network { return h.net }
+
+// IP returns the host's address.
+func (h *Host) IP() IP { return h.ip }
+
+// MAC returns the host's link-layer address.
+func (h *Host) MAC() MAC { return h.mac }
+
+// Port returns the host's NIC port for cabling.
+func (h *Host) Port() *Port { return h.port }
+
+// Stats returns the traffic counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+// ResetStats zeroes the traffic counters (used between experiment phases).
+func (h *Host) ResetStats() { h.stats = HostStats{} }
+
+// SetHandler registers the function receiving packets addressed to this
+// host. Exactly one handler is supported; the transport layer
+// demultiplexes further.
+func (h *Host) SetHandler(fn func(pkt *Packet)) { h.handler = fn }
+
+// SetDown cuts the host off the network: it stops sending and receiving,
+// emulating a crashed or disconnected node. Bringing it back up does not
+// restore lost packets.
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is currently cut off.
+func (h *Host) Down() bool { return h.down }
+
+// JoinMulticast subscribes the host to a multicast group address so the
+// NIC accepts packets whose destination IP is that group.
+func (h *Host) JoinMulticast(group IP) { h.mcast[group] = true }
+
+// LeaveMulticast unsubscribes the host from a group.
+func (h *Host) LeaveMulticast(group IP) { delete(h.mcast, group) }
+
+// InMulticast reports whether the host is subscribed to group.
+func (h *Host) InMulticast(group IP) bool { return h.mcast[group] }
+
+// Send fills in the host's source addresses, resolves the destination MAC
+// from the ARP cache (broadcast if unknown — the OpenFlow fabric routes on
+// IP and rewrites MACs, so this is how first packets reach the controller),
+// and transmits.
+func (h *Host) Send(pkt *Packet) {
+	if h.down {
+		return
+	}
+	pkt.SrcIP = h.ip
+	pkt.SrcMAC = h.mac
+	if pkt.DstMAC == 0 {
+		if m, ok := h.arp[pkt.DstIP]; ok {
+			pkt.DstMAC = m
+		} else {
+			pkt.DstMAC = BroadcastMAC
+		}
+	}
+	if pkt.TTL == 0 {
+		pkt.TTL = DefaultTTL
+	}
+	*h.nextID++
+	pkt.ID = *h.nextID
+	h.stats.BytesSent += int64(pkt.Size)
+	h.stats.PktsSent++
+	h.net.emitTrace(h.name, "tx", pkt)
+	h.port.Send(pkt)
+}
+
+// Recv implements Device: NIC filtering, ARP handling, then the
+// registered handler.
+func (h *Host) Recv(pkt *Packet, on *Port) {
+	if h.down {
+		return
+	}
+	// NIC filter: our MAC, broadcast, or a subscribed multicast group.
+	if pkt.DstMAC != h.mac && pkt.DstMAC != BroadcastMAC && !h.mcast[pkt.DstIP] {
+		h.net.drops++
+		return
+	}
+	if pkt.Proto == ProtoARP {
+		h.recvARP(pkt)
+		return
+	}
+	if pkt.DstIP != h.ip && !h.mcast[pkt.DstIP] {
+		h.net.drops++
+		return
+	}
+	h.stats.BytesRecv += int64(pkt.Size)
+	h.stats.PktsRecv++
+	h.net.emitTrace(h.name, "rx", pkt)
+	if h.handler != nil {
+		h.handler(pkt)
+	}
+}
+
+func (h *Host) recvARP(pkt *Packet) {
+	arp, ok := pkt.Payload.(*ARPPayload)
+	if !ok {
+		return
+	}
+	switch arp.Op {
+	case ARPRequest:
+		if arp.TargetIP != h.ip {
+			return
+		}
+		reply := &Packet{
+			DstIP:  arp.SenderIP,
+			DstMAC: pkt.SrcMAC,
+			Proto:  ProtoARP,
+			Size:   ARPPacketSize,
+			Payload: &ARPPayload{
+				Op:       ARPReply,
+				TargetIP: h.ip,
+				SenderIP: h.ip,
+				Sender:   h.mac,
+			},
+		}
+		h.Send(reply)
+	case ARPReply:
+		h.arp[arp.SenderIP] = arp.Sender
+	}
+}
+
+// Sim returns the simulator driving this host's network.
+func (h *Host) Sim() *sim.Simulator { return h.net.sim }

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"repro/internal/sim"
+)
+
+// Network is the registry of all devices and links in one simulated
+// fabric, plus fabric-wide load accounting.
+type Network struct {
+	sim      *sim.Simulator
+	hosts    []*Host
+	switches []*Switch
+	links    []*Link
+	macSeq   uint64
+	pktID    uint64
+	drops    int64
+	taps     map[int]Tap
+	tapSeq   int
+}
+
+// NewNetwork creates an empty fabric driven by s.
+func NewNetwork(s *sim.Simulator) *Network {
+	return &Network{sim: s}
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// Links returns all links in creation order.
+func (n *Network) Links() []*Link { return n.links }
+
+// Drops reports packets discarded anywhere in the fabric (NIC filters,
+// unconnected ports, TTL exhaustion, pipeline drops are counted on the
+// switch instead).
+func (n *Network) Drops() int64 { return n.drops }
+
+// nextMAC hands out unique MACs with a locally-administered prefix.
+func (n *Network) nextMAC() MAC {
+	n.macSeq++
+	return MAC(0x020000000000 | n.macSeq)
+}
+
+// HostByIP finds the host owning ip, or nil.
+func (n *Network) HostByIP(ip IP) *Host {
+	for _, h := range n.hosts {
+		if h.ip == ip {
+			return h
+		}
+	}
+	return nil
+}
+
+// TotalLinkBytes sums the bytes carried by every link in both directions:
+// the paper's "total network link load" metric (Fig. 6).
+func (n *Network) TotalLinkBytes() int64 {
+	var total int64
+	for _, l := range n.links {
+		total += l.TotalBytes()
+	}
+	return total
+}
+
+// ResetLinkStats zeroes every link counter (used between experiment
+// phases so warm-up traffic is not measured).
+func (n *Network) ResetLinkStats() {
+	for _, l := range n.links {
+		l.ab.stats = DirStats{}
+		l.ba.stats = DirStats{}
+	}
+}
+
+// ResetHostStats zeroes every host counter.
+func (n *Network) ResetHostStats() {
+	for _, h := range n.hosts {
+		h.stats = HostStats{}
+	}
+}

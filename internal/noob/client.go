@@ -1,0 +1,124 @@
+package noob
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// AccessMode selects how a NOOB client reaches the storage system
+// (§2.1 "Access Mechanism").
+type AccessMode int
+
+const (
+	// ViaGateway routes every request through a gateway (ROG or RAG,
+	// per the gateway's own mode).
+	ViaGateway AccessMode = iota
+	// RAC is the replica-aware client: it caches placement metadata and
+	// sends requests to the responsible node directly.
+	RAC
+)
+
+// ClientConfig parameterizes a NOOB client.
+type ClientConfig struct {
+	Mode      AccessMode
+	Gateway   Addr   // when ViaGateway
+	Nodes     []Addr // when RAC
+	Placement ring.Placement
+	Space     ring.Space
+	Gets      GetPolicy // RAC read steering
+}
+
+// ErrOpFailed is returned when the storage system rejected or lost the
+// operation.
+var ErrOpFailed = fmt.Errorf("noob: operation failed")
+
+// OpResult reports one completed operation.
+type OpResult struct {
+	Latency sim.Time
+	Found   bool
+	Value   any
+	Size    int
+}
+
+// Client is a NOOB client endpoint.
+type Client struct {
+	cfg   ClientConfig
+	stack *transport.Stack
+	pool  *rpcPool
+	rr    int
+}
+
+// NewClient builds a client on a host stack.
+func NewClient(stack *transport.Stack, cfg ClientConfig) *Client {
+	return &Client{cfg: cfg, stack: stack, pool: newRPCPool(stack)}
+}
+
+// target picks where to send one request.
+func (c *Client) target(key string, isGet bool) Addr {
+	if c.cfg.Mode == ViaGateway {
+		return c.cfg.Gateway
+	}
+	part := c.cfg.Space.PartitionOf(key)
+	idxs := c.cfg.Placement.Replicas(part)
+	if isGet && c.cfg.Gets == GetRoundRobin {
+		c.rr++
+		return c.cfg.Nodes[idxs[c.rr%len(idxs)]]
+	}
+	return c.cfg.Nodes[idxs[0]]
+}
+
+// Put stores key=value with size payload bytes.
+func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, error) {
+	start := p.Now()
+	resp, ok := c.pool.Call(p, c.target(key, false), &PutReq{Key: key, Value: value, Size: size}, size+reqOverhead)
+	lat := p.Now() - start
+	pr, isPut := resp.(*PutResp)
+	if !ok || !isPut || !pr.OK {
+		return OpResult{Latency: lat}, ErrOpFailed
+	}
+	return OpResult{Latency: lat, Size: size}, nil
+}
+
+// Get reads key.
+func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
+	start := p.Now()
+	resp, ok := c.pool.Call(p, c.target(key, true), &GetReq{Key: key}, reqOverhead)
+	lat := p.Now() - start
+	gr, isGet := resp.(*GetResp)
+	if !ok || !isGet {
+		return OpResult{Latency: lat}, ErrOpFailed
+	}
+	return OpResult{Latency: lat, Found: gr.Found, Value: gr.Value, Size: gr.Size}, nil
+}
+
+// Membership is the NOOB full-membership maintenance model: every change
+// is pushed to every node (O(N) messages, §2.1). The experiments count
+// these messages against NICE's O(S)+O(R).
+type Membership struct {
+	stack *transport.Stack
+	nodes []Addr
+	epoch uint64
+	sent  int64
+}
+
+// NewMembership builds the membership service on the metadata host.
+func NewMembership(stack *transport.Stack, nodes []Addr) *Membership {
+	return &Membership{stack: stack, nodes: nodes}
+}
+
+// MsgsSent reports membership messages pushed so far.
+func (m *Membership) MsgsSent() int64 { return m.sent }
+
+// BroadcastChange informs every node of a membership change.
+func (m *Membership) BroadcastChange(failed []int) {
+	m.epoch++
+	sock := m.stack.MustBindUDP(0)
+	defer sock.Close()
+	for _, n := range m.nodes {
+		sock.SendTo(n.IP, n.Port, &MembershipUpdate{Epoch: m.epoch, Failed: failed}, 128)
+		m.sent++
+	}
+}

@@ -1,0 +1,117 @@
+// Package noob implements the paper's baseline: a Network-OBlivious
+// key-value store (§2.1, §6). The network is a plain point-to-point
+// medium; storage logic lives entirely in end hosts:
+//
+//   - access mechanisms: ROG (replica-oblivious gateway, random node,
+//     two extra hops), RAG (replica-aware gateway, one extra hop), and
+//     RAC (replica-aware client, direct);
+//   - replication: the primary pushes R-1 copies over unicast streams,
+//     optionally returning at a write quorum, or chain replication;
+//   - consistency: primary-only (no protocol) or textbook 2PC
+//     (prepare+data round, commit round);
+//   - full membership: every node knows every other; membership changes
+//     are broadcast to all N nodes.
+package noob
+
+import (
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+)
+
+// Message size constants.
+const (
+	reqOverhead  = 64
+	respOverhead = 64
+	ackSize      = 64
+)
+
+// Addr identifies a NOOB storage node or gateway.
+type Addr struct {
+	Index int
+	IP    netsim.IP
+	Port  uint16
+}
+
+// PutReq is a client (or proxied) write.
+type PutReq struct {
+	Key   string
+	Value any
+	Size  int
+}
+
+// PutResp acknowledges a write.
+type PutResp struct {
+	OK  bool
+	Err string
+}
+
+// GetReq is a client (or proxied) read.
+type GetReq struct {
+	Key string
+}
+
+// GetResp returns the object.
+type GetResp struct {
+	Found bool
+	Value any
+	Size  int
+}
+
+// Prepare is 2PC round one: the full object travels to each secondary,
+// which locks, logs, and writes it.
+type Prepare struct {
+	Key   string
+	Value any
+	Size  int
+	Ver   kvstore.Timestamp
+}
+
+// Commit is 2PC round two.
+type Commit struct {
+	Key string
+	Ver kvstore.Timestamp
+}
+
+// Abort cancels a prepared write.
+type Abort struct {
+	Key string
+	Ver kvstore.Timestamp
+}
+
+// Replicate is the primary-only replication message: object plus final
+// version, written by the secondary in one step. Chain carries the rest
+// of the replication chain when chain replication is enabled.
+type Replicate struct {
+	Key   string
+	Value any
+	Size  int
+	Ver   kvstore.Timestamp
+	Chain []Addr
+}
+
+// Ack is the generic acknowledgment for Prepare/Commit/Abort/Replicate.
+type Ack struct {
+	OK   bool
+	From int
+}
+
+// LocalGet asks a replica for its local copy only (no coordination):
+// the per-replica leg of a majority-quorum read (§3.3).
+type LocalGet struct {
+	Key string
+}
+
+// LocalGetResp returns the replica's copy and version.
+type LocalGetResp struct {
+	Found bool
+	Value any
+	Size  int
+	Ver   kvstore.Timestamp
+}
+
+// MembershipUpdate is the full-membership broadcast every node receives
+// on a change (O(N) messages per change, §2.1).
+type MembershipUpdate struct {
+	Epoch  uint64
+	Failed []int
+}

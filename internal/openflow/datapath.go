@@ -1,0 +1,225 @@
+package openflow
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ControllerHandler is implemented by the SDN controller (package
+// controller). PacketIn delivers a punted packet after the control-channel
+// latency.
+type ControllerHandler interface {
+	PacketIn(dp *Datapath, pkt *netsim.Packet, inPort int)
+}
+
+// MissBehavior selects what a datapath does on a flow-table miss.
+type MissBehavior int
+
+const (
+	// MissToController punts misses to the controller (the default, and
+	// what NICE's learning controller relies on).
+	MissToController MissBehavior = iota
+	// MissDrop silently discards misses.
+	MissDrop
+)
+
+// ControlStats count control-channel messages; the membership-scalability
+// experiment reads these.
+type ControlStats struct {
+	PacketIns  int64
+	PacketOuts int64
+	FlowMods   int64
+	GroupMods  int64
+}
+
+// Datapath attaches OpenFlow forwarding to a netsim switch: a flow table,
+// a group table, and a control channel to at most one controller. Control
+// messages in either direction are delayed by CtrlDelay, modeling the
+// controller living on the management network.
+type Datapath struct {
+	name      string
+	sw        *netsim.Switch
+	table     *FlowTable
+	groups    *GroupTable
+	handler   ControllerHandler
+	ctrlDelay sim.Time
+	miss      MissBehavior
+	stats     ControlStats
+}
+
+// Attach builds a datapath on sw and installs it as the switch pipeline.
+func Attach(sw *netsim.Switch, ctrlDelay sim.Time) *Datapath {
+	dp := &Datapath{
+		name:      sw.DeviceName(),
+		sw:        sw,
+		table:     NewFlowTable(sw.Sim()),
+		groups:    NewGroupTable(),
+		ctrlDelay: ctrlDelay,
+	}
+	sw.SetPipeline(dp)
+	return dp
+}
+
+// Name returns the underlying switch name.
+func (dp *Datapath) Name() string { return dp.name }
+
+// Switch returns the underlying netsim switch.
+func (dp *Datapath) Switch() *netsim.Switch { return dp.sw }
+
+// Table exposes the flow table (controllers and tests inspect it).
+func (dp *Datapath) Table() *FlowTable { return dp.table }
+
+// Groups exposes the group table.
+func (dp *Datapath) Groups() *GroupTable { return dp.groups }
+
+// Stats returns control-channel message counters.
+func (dp *Datapath) Stats() ControlStats { return dp.stats }
+
+// SetController registers the controller receiving PacketIns.
+func (dp *Datapath) SetController(h ControllerHandler) { dp.handler = h }
+
+// SetMissBehavior selects the table-miss policy.
+func (dp *Datapath) SetMissBehavior(m MissBehavior) { dp.miss = m }
+
+// Process implements netsim.Pipeline.
+func (dp *Datapath) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
+	entry := dp.table.Lookup(pkt, inPort)
+	if entry == nil {
+		switch dp.miss {
+		case MissToController:
+			dp.punt(pkt, inPort)
+		default:
+			sw.Drop(pkt)
+		}
+		return
+	}
+	dp.apply(entry.Actions, pkt, inPort)
+}
+
+// apply executes an action list on (a mutable view of) pkt.
+func (dp *Datapath) apply(actions []Action, pkt *netsim.Packet, inPort int) {
+	cur := pkt
+	emitted := false
+	for _, a := range actions {
+		switch a := a.(type) {
+		case SetDstIP:
+			cur = cur.Clone()
+			cur.DstIP = a.IP
+		case SetSrcIP:
+			cur = cur.Clone()
+			cur.SrcIP = a.IP
+		case SetDstMAC:
+			cur = cur.Clone()
+			cur.DstMAC = a.MAC
+		case SetSrcMAC:
+			cur = cur.Clone()
+			cur.SrcMAC = a.MAC
+		case Output:
+			dp.sw.Output(a.Port, cur.Clone())
+			emitted = true
+		case OutputGroup:
+			dp.applyGroup(a.Group, cur, inPort)
+			emitted = true
+		case Flood:
+			dp.sw.Flood(cur, inPort)
+			emitted = true
+		case ToController:
+			dp.punt(cur, inPort)
+			emitted = true
+		case Drop:
+			dp.sw.Drop(cur)
+			return
+		}
+	}
+	if !emitted {
+		dp.sw.Drop(cur)
+	}
+}
+
+// applyGroup fans the packet out through an ALL-type group: every bucket
+// gets its own copy. A missing group drops the packet.
+func (dp *Datapath) applyGroup(id GroupID, pkt *netsim.Packet, inPort int) {
+	g, ok := dp.groups.Get(id)
+	if !ok {
+		dp.sw.Drop(pkt)
+		return
+	}
+	for _, b := range g.Buckets {
+		dp.apply(b.Actions, pkt.Clone(), inPort)
+	}
+}
+
+// punt sends a PacketIn to the controller after the control latency.
+func (dp *Datapath) punt(pkt *netsim.Packet, inPort int) {
+	if dp.handler == nil {
+		dp.sw.Drop(pkt)
+		return
+	}
+	dp.stats.PacketIns++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		dp.handler.PacketIn(dp, pkt, inPort)
+	})
+}
+
+// Control-plane operations. Each models one controller-to-switch message:
+// it is counted immediately and takes effect after the control latency.
+
+// AddFlow installs a rule. The error future resolves when the switch has
+// applied (or rejected) the mod.
+func (dp *Datapath) AddFlow(e FlowEntry) *sim.Future[error] {
+	dp.stats.FlowMods++
+	f := sim.NewFuture[error](dp.sw.Sim())
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		_, err := dp.table.Add(e)
+		f.Set(err)
+	})
+	return f
+}
+
+// RemoveFlows deletes rules matching pred.
+func (dp *Datapath) RemoveFlows(pred func(*FlowEntry) bool) {
+	dp.stats.FlowMods++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		dp.table.Remove(pred)
+	})
+}
+
+// RemoveCookie deletes rules whose cookie starts with prefix.
+func (dp *Datapath) RemoveCookie(prefix string) {
+	dp.stats.FlowMods++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		dp.table.RemoveCookie(prefix)
+	})
+}
+
+// SetGroup installs or replaces a group.
+func (dp *Datapath) SetGroup(g Group) {
+	dp.stats.GroupMods++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		dp.groups.Set(g)
+	})
+}
+
+// DeleteGroup removes a group.
+func (dp *Datapath) DeleteGroup(id GroupID) {
+	dp.stats.GroupMods++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		dp.groups.Delete(id)
+	})
+}
+
+// PacketOut injects a packet out of a specific port (or floods it with
+// port = FloodPort).
+func (dp *Datapath) PacketOut(pkt *netsim.Packet, outPort int) {
+	dp.stats.PacketOuts++
+	dp.sw.Sim().After(dp.ctrlDelay, func() {
+		if outPort == FloodPort {
+			dp.sw.Flood(pkt, -1)
+			return
+		}
+		dp.sw.Output(outPort, pkt)
+	})
+}
+
+// FloodPort is the PacketOut pseudo-port that floods all ports.
+const FloodPort = -2

@@ -1,0 +1,94 @@
+// Package openflow implements an OpenFlow-style forwarding pipeline for
+// netsim switches: priority flow tables matching on packet headers, an
+// action list per entry (header rewriting, output, group fan-out, punt to
+// controller), ALL-type group tables for multicast, and a control channel
+// with configurable latency between a controller and its datapaths.
+//
+// The feature set mirrors what the paper programs through Ryu and
+// OpenFlow 1.3 (§2.2, §5): wildcard matches on IP addresses, protocol and
+// ports; set-field actions rewriting source/destination IP and MAC;
+// forwarding to one port, a group of ports, or the controller; and rule
+// add/remove with counters.
+package openflow
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+)
+
+// AnyPort is the Match.InPort wildcard.
+const AnyPort = -1
+
+// Match is an OpenFlow matching rule. Zero-valued fields are wildcards,
+// except InPort, whose wildcard is AnyPort (use NewMatch to get a match
+// with every field wild).
+type Match struct {
+	InPort  int
+	SrcIP   netsim.Prefix
+	DstIP   netsim.Prefix
+	Proto   netsim.Proto
+	SrcPort uint16
+	DstPort uint16
+}
+
+// NewMatch returns a match whose every field is a wildcard.
+func NewMatch() Match { return Match{InPort: AnyPort} }
+
+// MatchDst returns a match on a destination prefix only.
+func MatchDst(p netsim.Prefix) Match {
+	m := NewMatch()
+	m.DstIP = p
+	return m
+}
+
+// Covers reports whether the match admits pkt arriving on inPort.
+func (m Match) Covers(pkt *netsim.Packet, inPort int) bool {
+	if m.InPort != AnyPort && m.InPort != inPort {
+		return false
+	}
+	if !m.SrcIP.IsWildcard() && !m.SrcIP.Contains(pkt.SrcIP) {
+		return false
+	}
+	if !m.DstIP.IsWildcard() && !m.DstIP.Contains(pkt.DstIP) {
+		return false
+	}
+	if m.Proto != netsim.ProtoNone && m.Proto != pkt.Proto {
+		return false
+	}
+	if m.SrcPort != 0 && m.SrcPort != pkt.SrcPort {
+		return false
+	}
+	if m.DstPort != 0 && m.DstPort != pkt.DstPort {
+		return false
+	}
+	return true
+}
+
+// String renders the non-wildcard fields.
+func (m Match) String() string {
+	var parts []string
+	if m.InPort != AnyPort {
+		parts = append(parts, fmt.Sprintf("in=%d", m.InPort))
+	}
+	if !m.SrcIP.IsWildcard() {
+		parts = append(parts, "src="+m.SrcIP.String())
+	}
+	if !m.DstIP.IsWildcard() {
+		parts = append(parts, "dst="+m.DstIP.String())
+	}
+	if m.Proto != netsim.ProtoNone {
+		parts = append(parts, m.Proto.String())
+	}
+	if m.SrcPort != 0 {
+		parts = append(parts, fmt.Sprintf("sport=%d", m.SrcPort))
+	}
+	if m.DstPort != 0 {
+		parts = append(parts, fmt.Sprintf("dport=%d", m.DstPort))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}

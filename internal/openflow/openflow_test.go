@@ -1,0 +1,340 @@
+package openflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func us(n int) sim.Time { return sim.Time(n) * time.Microsecond }
+
+func ip(s string) netsim.IP      { return netsim.MustParseIP(s) }
+func pfx(s string) netsim.Prefix { return netsim.MustParsePrefix(s) }
+func udp(src, dst string) *netsim.Packet {
+	return &netsim.Packet{SrcIP: ip(src), DstIP: ip(dst), Proto: netsim.ProtoUDP, Size: 100}
+}
+
+func TestMatchCovers(t *testing.T) {
+	pkt := udp("192.168.1.5", "10.10.3.9")
+	pkt.SrcPort, pkt.DstPort = 5000, 7000
+
+	cases := []struct {
+		name string
+		m    Match
+		want bool
+	}{
+		{"wildcard", NewMatch(), true},
+		{"dst prefix hit", MatchDst(pfx("10.10.0.0/16")), true},
+		{"dst prefix miss", MatchDst(pfx("10.11.0.0/16")), false},
+		{"src prefix", func() Match { m := NewMatch(); m.SrcIP = pfx("192.168.0.0/16"); return m }(), true},
+		{"proto hit", func() Match { m := NewMatch(); m.Proto = netsim.ProtoUDP; return m }(), true},
+		{"proto miss", func() Match { m := NewMatch(); m.Proto = netsim.ProtoTCP; return m }(), false},
+		{"dport hit", func() Match { m := NewMatch(); m.DstPort = 7000; return m }(), true},
+		{"dport miss", func() Match { m := NewMatch(); m.DstPort = 7001; return m }(), false},
+		{"sport hit", func() Match { m := NewMatch(); m.SrcPort = 5000; return m }(), true},
+		{"inport hit", func() Match { m := NewMatch(); m.InPort = 3; return m }(), true},
+		{"inport miss", func() Match { m := NewMatch(); m.InPort = 4; return m }(), false},
+	}
+	for _, c := range cases {
+		if got := c.m.Covers(pkt, 3); got != c.want {
+			t.Errorf("%s: Covers = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFlowTablePriority(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	lo, _ := tbl.Add(FlowEntry{Priority: 1, Match: NewMatch(), Cookie: "default"})
+	hi, _ := tbl.Add(FlowEntry{Priority: 10, Match: MatchDst(pfx("10.10.0.0/16")), Cookie: "vring"})
+
+	if e := tbl.Lookup(udp("1.1.1.1", "10.10.0.5"), 0); e != hi {
+		t.Fatalf("lookup hit %v, want high-priority entry", e)
+	}
+	if e := tbl.Lookup(udp("1.1.1.1", "10.99.0.5"), 0); e != lo {
+		t.Fatalf("lookup hit %v, want default entry", e)
+	}
+	if hi.Matches() != 1 || lo.Matches() != 1 {
+		t.Fatalf("counters: hi=%d lo=%d", hi.Matches(), lo.Matches())
+	}
+}
+
+func TestFlowTableInsertionOrderTieBreak(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	first, _ := tbl.Add(FlowEntry{Priority: 5, Match: NewMatch(), Cookie: "first"})
+	tbl.Add(FlowEntry{Priority: 5, Match: NewMatch(), Cookie: "second"})
+	if e := tbl.Lookup(udp("1.1.1.1", "2.2.2.2"), 0); e != first {
+		t.Fatalf("tie broke to %q, want first", e.Cookie)
+	}
+}
+
+func TestFlowTableIdleTimeout(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	tbl.Add(FlowEntry{Priority: 5, Match: NewMatch(), Cookie: "x", IdleTimeout: us(100)})
+	s.At(us(50), func() {
+		if tbl.Lookup(udp("1.1.1.1", "2.2.2.2"), 0) == nil {
+			t.Error("entry expired too early")
+		}
+	})
+	s.At(us(200), func() { // 150us after last use: expired
+		if tbl.Lookup(udp("1.1.1.1", "2.2.2.2"), 0) != nil {
+			t.Error("entry should have expired")
+		}
+		if tbl.Len() != 0 {
+			t.Errorf("Len = %d after expiry", tbl.Len())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowTableCapacity(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	tbl.Capacity = 2
+	if _, err := tbl.Add(FlowEntry{Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Add(FlowEntry{Priority: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Add(FlowEntry{Priority: 3}); err != ErrTableFull {
+		t.Fatalf("err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestRemoveCookie(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	tbl.Add(FlowEntry{Priority: 1, Cookie: "vring-unicast-p0"})
+	tbl.Add(FlowEntry{Priority: 1, Cookie: "vring-unicast-p1"})
+	tbl.Add(FlowEntry{Priority: 1, Cookie: "vring-mcast-p0"})
+	if n := tbl.RemoveCookie("vring-unicast-"); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+// topo builds hosts around one OpenFlow switch: client on port 0, servers
+// on ports 1..n.
+func topo(t *testing.T, nServers int, ctrlDelay sim.Time) (*sim.Simulator, *netsim.Network, *Datapath, *netsim.Host, []*netsim.Host) {
+	t.Helper()
+	s := sim.New(1)
+	n := netsim.NewNetwork(s)
+	sw := n.NewSwitch("sw", nServers+1, us(2))
+	dp := Attach(sw, ctrlDelay)
+	client := n.NewHost("client", ip("192.168.0.1"))
+	n.Connect(client.Port(), sw.Port(0), netsim.Gbps(1, 0))
+	var servers []*netsim.Host
+	for i := 0; i < nServers; i++ {
+		h := n.NewHost("srv", ip("10.0.0.1").Add(uint32(i)))
+		n.Connect(h.Port(), sw.Port(i+1), netsim.Gbps(1, 0))
+		servers = append(servers, h)
+	}
+	return s, n, dp, client, servers
+}
+
+func TestRewriteAndForward(t *testing.T) {
+	// The core NICE mechanism: a packet to a virtual address is rewritten
+	// to the physical node's IP/MAC and forwarded in one hop.
+	s, _, dp, client, servers := topo(t, 1, 0)
+	srv := servers[0]
+	vaddr := ip("10.10.1.7")
+	dp.Table().Add(FlowEntry{
+		Priority: 10,
+		Match:    MatchDst(pfx("10.10.1.0/24")),
+		Actions:  []Action{SetDstIP{srv.IP()}, SetDstMAC{srv.MAC()}, Output{Port: 1}},
+		Cookie:   "vring",
+	})
+	dp.SetMissBehavior(MissDrop)
+	var got *netsim.Packet
+	srv.SetHandler(func(pkt *netsim.Packet) { got = pkt })
+	s.At(0, func() { client.Send(&netsim.Packet{DstIP: vaddr, Proto: netsim.ProtoUDP, Size: 200}) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("server did not receive rewritten packet")
+	}
+	if got.DstIP != srv.IP() || got.DstMAC != srv.MAC() {
+		t.Fatalf("rewrite failed: dst=%s mac=%s", got.DstIP, got.DstMAC)
+	}
+	if got.SrcIP != client.IP() {
+		t.Fatalf("src clobbered: %s", got.SrcIP)
+	}
+}
+
+func TestGroupMulticast(t *testing.T) {
+	// Multicast vring: rewrite to the group address, then fan out to all
+	// replica ports; every replica receives exactly one copy.
+	s, _, dp, client, servers := topo(t, 3, 0)
+	group := ip("239.0.1.0")
+	var buckets []Bucket
+	for i := range servers {
+		servers[i].JoinMulticast(group)
+		buckets = append(buckets, Bucket{Actions: []Action{Output{Port: i + 1}}})
+	}
+	dp.Groups().Set(Group{ID: 7, Buckets: buckets})
+	dp.Table().Add(FlowEntry{
+		Priority: 10,
+		Match:    MatchDst(pfx("10.11.1.0/24")),
+		Actions:  []Action{SetDstIP{group}, SetDstMAC{netsim.BroadcastMAC}, OutputGroup{Group: 7}},
+	})
+	dp.SetMissBehavior(MissDrop)
+	got := make([]int, len(servers))
+	for i := range servers {
+		i := i
+		servers[i].SetHandler(func(pkt *netsim.Packet) {
+			if pkt.DstIP == group {
+				got[i]++
+			}
+		})
+	}
+	s.At(0, func() { client.Send(&netsim.Packet{DstIP: ip("10.11.1.42"), Proto: netsim.ProtoUDP, Size: 500}) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range got {
+		if n != 1 {
+			t.Fatalf("server %d received %d copies, want 1", i, n)
+		}
+	}
+}
+
+type recordingController struct {
+	ins []*netsim.Packet
+}
+
+func (c *recordingController) PacketIn(dp *Datapath, pkt *netsim.Packet, inPort int) {
+	c.ins = append(c.ins, pkt)
+	// Reflect it back out the port it came from.
+	dp.PacketOut(pkt, inPort)
+}
+
+func TestPacketInOut(t *testing.T) {
+	s, _, dp, client, _ := topo(t, 1, us(100))
+	ctrl := &recordingController{}
+	dp.SetController(ctrl)
+	var echoed bool
+	client.SetHandler(func(pkt *netsim.Packet) { echoed = true })
+	s.At(0, func() {
+		client.Send(&netsim.Packet{DstIP: client.IP(), DstMAC: netsim.BroadcastMAC, Proto: netsim.ProtoUDP, Size: 99})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctrl.ins) != 1 {
+		t.Fatalf("controller saw %d PacketIns, want 1", len(ctrl.ins))
+	}
+	if !echoed {
+		t.Fatal("PacketOut did not reach the client")
+	}
+	st := dp.Stats()
+	if st.PacketIns != 1 || st.PacketOuts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFlowModLatency(t *testing.T) {
+	s, _, dp, client, servers := topo(t, 1, us(500))
+	dp.SetMissBehavior(MissDrop)
+	srv := servers[0]
+	got := 0
+	srv.SetHandler(func(pkt *netsim.Packet) { got++ })
+	s.At(0, func() {
+		dp.AddFlow(FlowEntry{
+			Priority: 5,
+			Match:    MatchDst(netsim.HostPrefix(srv.IP())),
+			Actions:  []Action{SetDstMAC{srv.MAC()}, Output{Port: 1}},
+		})
+		// Sent before the mod lands: dropped.
+		client.Send(&netsim.Packet{DstIP: srv.IP(), Proto: netsim.ProtoUDP, Size: 10})
+	})
+	s.At(us(1000), func() { // after the mod landed
+		client.Send(&netsim.Packet{DstIP: srv.IP(), Proto: netsim.ProtoUDP, Size: 10})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("server received %d, want 1 (flow mod latency)", got)
+	}
+	if dp.Stats().FlowMods != 1 {
+		t.Fatalf("FlowMods = %d", dp.Stats().FlowMods)
+	}
+}
+
+func TestActionListStopsOnDrop(t *testing.T) {
+	s, _, dp, client, servers := topo(t, 1, 0)
+	dp.SetMissBehavior(MissDrop)
+	dp.Table().Add(FlowEntry{
+		Priority: 5,
+		Match:    NewMatch(),
+		Actions:  []Action{Drop{}, Output{Port: 1}},
+	})
+	got := 0
+	servers[0].SetHandler(func(pkt *netsim.Packet) { got++ })
+	s.At(0, func() { client.Send(&netsim.Packet{DstIP: servers[0].IP(), Proto: netsim.ProtoUDP, Size: 10}) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatal("output after drop must not fire")
+	}
+}
+
+func TestSetFieldDoesNotAliasAcrossOutputs(t *testing.T) {
+	// Output, then rewrite, then output again: the first copy must keep
+	// the original header.
+	s, _, dp, client, servers := topo(t, 2, 0)
+	dp.SetMissBehavior(MissDrop)
+	dp.Table().Add(FlowEntry{
+		Priority: 5,
+		Match:    NewMatch(),
+		Actions: []Action{
+			SetDstMAC{servers[0].MAC()}, Output{Port: 1},
+			SetDstIP{servers[1].IP()}, SetDstMAC{servers[1].MAC()}, Output{Port: 2},
+		},
+	})
+	var dst0, dst1 netsim.IP
+	servers[0].SetHandler(func(pkt *netsim.Packet) { dst0 = pkt.DstIP })
+	servers[1].SetHandler(func(pkt *netsim.Packet) { dst1 = pkt.DstIP })
+	s.At(0, func() { client.Send(&netsim.Packet{DstIP: servers[0].IP(), Proto: netsim.ProtoUDP, Size: 10}) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst0 != servers[0].IP() {
+		t.Fatalf("first copy rewritten: %s", dst0)
+	}
+	if dst1 != servers[1].IP() {
+		t.Fatalf("second copy not rewritten: %s", dst1)
+	}
+}
+
+func BenchmarkFlowTableLookup(b *testing.B) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	// 64 partitions x (unicast + multicast + group-direct) + phys rules,
+	// the shape of a real deployment's table.
+	for p := 0; p < 64; p++ {
+		base := netsim.IPv4(10, 10, byte(p), 0)
+		tbl.Add(FlowEntry{Priority: 50, Match: MatchDst(netsim.PrefixOf(base, 24))})
+	}
+	for h := 0; h < 64; h++ {
+		tbl.Add(FlowEntry{Priority: 10, Match: MatchDst(netsim.HostPrefix(netsim.IPv4(10, 0, 0, byte(h))))})
+	}
+	pkt := udp("192.168.0.1", "10.10.40.7")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl.Lookup(pkt, 0) == nil {
+			b.Fatal("miss")
+		}
+	}
+}

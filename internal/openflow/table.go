@@ -1,0 +1,159 @@
+package openflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// FlowEntry is one rule: a priority, a match, and an action list. Cookie
+// is a free-form label the controller uses to find and delete its own
+// rules; it plays the role of the OpenFlow cookie field.
+type FlowEntry struct {
+	Priority    int
+	Match       Match
+	Actions     []Action
+	Cookie      string
+	IdleTimeout sim.Time // 0 = never expires
+
+	matches  int64
+	bytes    int64
+	lastUsed sim.Time
+	seq      uint64 // insertion order, tie-break within a priority
+}
+
+// Matches returns how many packets hit this entry.
+func (e *FlowEntry) Matches() int64 { return e.matches }
+
+// MatchedBytes returns how many bytes hit this entry.
+func (e *FlowEntry) MatchedBytes() int64 { return e.bytes }
+
+// String renders the rule like ovs-ofctl dump-flows.
+func (e *FlowEntry) String() string {
+	acts := make([]string, len(e.Actions))
+	for i, a := range e.Actions {
+		acts[i] = a.actionString()
+	}
+	return fmt.Sprintf("prio=%d %s actions=%s cookie=%q n=%d",
+		e.Priority, e.Match, strings.Join(acts, ","), e.Cookie, e.matches)
+}
+
+// FlowTable is a priority-ordered rule table. Lookup returns the
+// highest-priority covering entry (insertion order breaks ties), lazily
+// evicting idle-expired entries. Table size is bounded by Capacity when
+// non-zero, modeling hardware TCAM limits (§4.6).
+type FlowTable struct {
+	s        *sim.Simulator
+	entries  []*FlowEntry
+	seq      uint64
+	Capacity int // 0 = unlimited
+}
+
+// NewFlowTable returns an empty table clocked by s.
+func NewFlowTable(s *sim.Simulator) *FlowTable {
+	return &FlowTable{s: s}
+}
+
+// ErrTableFull is returned by Add when Capacity would be exceeded.
+var ErrTableFull = fmt.Errorf("openflow: flow table full")
+
+// Add inserts a rule and keeps the table sorted by descending priority.
+func (t *FlowTable) Add(e FlowEntry) (*FlowEntry, error) {
+	if t.Capacity > 0 && len(t.entries) >= t.Capacity {
+		return nil, ErrTableFull
+	}
+	t.seq++
+	e.seq = t.seq
+	e.lastUsed = t.s.Now()
+	ep := &e
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < ep.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = ep
+	return ep, nil
+}
+
+// Remove deletes all entries for which pred returns true and reports how
+// many were deleted.
+func (t *FlowTable) Remove(pred func(*FlowEntry) bool) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if pred(e) {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return removed
+}
+
+// RemoveCookie deletes all entries whose cookie has the given prefix.
+func (t *FlowTable) RemoveCookie(prefix string) int {
+	return t.Remove(func(e *FlowEntry) bool { return strings.HasPrefix(e.Cookie, prefix) })
+}
+
+// Lookup returns the matching entry for pkt on inPort, or nil on a table
+// miss, updating hit counters and evicting idle entries it passes.
+func (t *FlowTable) Lookup(pkt *netsim.Packet, inPort int) *FlowEntry {
+	now := t.s.Now()
+	for i := 0; i < len(t.entries); i++ {
+		e := t.entries[i]
+		if e.IdleTimeout > 0 && now-e.lastUsed > e.IdleTimeout {
+			copy(t.entries[i:], t.entries[i+1:])
+			t.entries[len(t.entries)-1] = nil
+			t.entries = t.entries[:len(t.entries)-1]
+			i--
+			continue
+		}
+		if e.Match.Covers(pkt, inPort) {
+			e.matches++
+			e.bytes += int64(pkt.Size)
+			e.lastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// Len returns the number of installed entries; the switch-scalability
+// experiment measures this.
+func (t *FlowTable) Len() int { return len(t.entries) }
+
+// Entries returns the live entries in priority order (shared slice; do
+// not mutate).
+func (t *FlowTable) Entries() []*FlowEntry { return t.entries }
+
+// GroupTable maps group IDs to ALL-type groups.
+type GroupTable struct {
+	groups map[GroupID]*Group
+}
+
+// NewGroupTable returns an empty group table.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{groups: make(map[GroupID]*Group)}
+}
+
+// Set installs or replaces a group.
+func (gt *GroupTable) Set(g Group) { gt.groups[g.ID] = &g }
+
+// Delete removes a group.
+func (gt *GroupTable) Delete(id GroupID) { delete(gt.groups, id) }
+
+// Get looks up a group.
+func (gt *GroupTable) Get(id GroupID) (*Group, bool) {
+	g, ok := gt.groups[id]
+	return g, ok
+}
+
+// Len returns the number of installed groups.
+func (gt *GroupTable) Len() int { return len(gt.groups) }

@@ -1,0 +1,101 @@
+package sim
+
+// Proc is a simulation process: a goroutine that runs protocol code under
+// the virtual clock. The kernel guarantees that at most one process (or
+// event callback) executes at a time, so process code needs no locking and
+// the simulation stays deterministic.
+//
+// A Proc may only block through the primitives in this package (Sleep,
+// Queue.Pop, Future.Wait, Cond.Wait, ...). Blocking on ordinary Go channels
+// from inside a process would stall the whole simulation.
+type Proc struct {
+	sim    *Simulator
+	name   string
+	resume chan struct{}
+	kill   bool // set by Shutdown: unpark with a request to die
+}
+
+// killed is the panic value used to unwind a process during Shutdown.
+type killed struct{}
+
+// Spawn starts fn as a new process. fn begins executing at the current
+// virtual time, after the currently running event or process yields. The
+// name is used in failure reports only.
+func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.nprocs++
+	go func() {
+		<-p.resume // wait for the scheduler to hand us control
+		defer func() {
+			s.nprocs--
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok && s.fail == nil {
+					s.fail = procFailure{proc: p, val: r}
+				}
+			}
+			s.yield <- struct{}{}
+		}()
+		if p.kill {
+			panic(killed{})
+		}
+		fn(p)
+	}()
+	s.After(0, func() { p.unpark() })
+	return p
+}
+
+// Sim returns the simulator the process runs under.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.Now() }
+
+// park suspends the process and returns control to the scheduler. It
+// returns when some event calls unpark.
+func (p *Proc) park() {
+	p.sim.parked[p] = struct{}{}
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	if p.kill {
+		panic(killed{})
+	}
+}
+
+// unpark resumes a parked process and blocks the scheduler until the
+// process parks again or finishes. Must be called from event context.
+func (p *Proc) unpark() {
+	delete(p.sim.parked, p)
+	p.resume <- struct{}{}
+	<-p.sim.yield
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d still
+// yields, resuming at the current instant after already-scheduled events.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.After(d, func() { p.unpark() })
+	p.park()
+}
+
+// waiter tracks a single blocking wait that can be woken by exactly one of
+// several sources (a value arriving, a timeout firing, ...).
+type waiter struct {
+	p     *Proc
+	fired bool
+}
+
+// wake resumes the waiting process if nothing woke it yet. It must be
+// called from event context. It reports whether this call did the waking.
+func (w *waiter) wake() bool {
+	if w.fired {
+		return false
+	}
+	w.fired = true
+	w.p.sim.After(0, func() { w.p.unpark() })
+	return true
+}

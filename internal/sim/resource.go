@@ -1,0 +1,34 @@
+package sim
+
+// Resource models a serially-shared service center (a node's CPU, a
+// disk): requests are served FIFO in arrival order, one at a time. It
+// uses the virtual-queue formulation: a user arriving at time t with
+// demand d is served during [max(t, busyUntil), max(t, busyUntil)+d].
+type Resource struct {
+	s         *Simulator
+	busyUntil Time
+	busyTotal Time
+}
+
+// NewResource returns an idle resource clocked by s.
+func NewResource(s *Simulator) *Resource { return &Resource{s: s} }
+
+// Use blocks p while it queues for and consumes d of service time.
+// A zero or negative demand returns immediately without queueing.
+func (r *Resource) Use(p *Proc, d Time) {
+	if d <= 0 {
+		return
+	}
+	now := r.s.Now()
+	start := r.busyUntil
+	if start < now {
+		start = now
+	}
+	r.busyUntil = start + d
+	r.busyTotal += d
+	p.Sleep(r.busyUntil - now)
+}
+
+// BusyTime returns the total service time consumed (utilization
+// accounting).
+func (r *Resource) BusyTime() Time { return r.busyTotal }

@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock over a priority queue of events.
+// Protocol code runs inside coroutine-style processes (Proc): at most one
+// process executes at any instant, and processes only yield at explicit
+// blocking points (Sleep, Queue.Pop, Future.Wait, ...). Event ordering is a
+// total order on (time, sequence number), so a simulation with a fixed seed
+// is fully reproducible.
+//
+// The kernel is the substrate for the packet-level network simulator in
+// package netsim and, transitively, for every experiment in this
+// repository.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation.
+type Time = time.Duration
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns the virtual clock, the event queue, and the set of live
+// processes. The zero value is not usable; create one with New.
+type Simulator struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	yield   chan struct{} // a parked/finished proc hands control back here
+	parked  map[*Proc]struct{}
+	nprocs  int
+	fail    error // first process failure, stops the run
+	limit   Time  // 0 = no limit
+	stopped bool
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		rng:    rand.New(rand.NewSource(seed)),
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only
+// be used from event callbacks and processes (never concurrently).
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would violate causality. The returned Event can be cancelled.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	e := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.heap, e)
+	return &Event{e: e}
+}
+
+// After schedules fn to run d from now.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Event is a handle on a scheduled callback.
+type Event struct{ e *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil && ev.e != nil {
+		ev.e.dead = true
+	}
+}
+
+// procFailure carries a panic out of a process goroutine.
+type procFailure struct {
+	proc *Proc
+	val  any
+}
+
+func (f procFailure) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", f.proc.name, f.val)
+}
+
+// Run executes events until the queue is empty, the time limit (if any set
+// with SetLimit) is reached, or a process panics. It returns the first
+// process failure, or nil.
+//
+// Processes that are still blocked when Run returns remain parked; call
+// Shutdown to reap their goroutines.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for len(s.heap) > 0 && s.fail == nil && !s.stopped {
+		e := heap.Pop(&s.heap).(*event)
+		if e.dead {
+			continue
+		}
+		if s.limit > 0 && e.at > s.limit {
+			s.now = s.limit
+			return s.fail
+		}
+		s.now = e.at
+		e.fn()
+	}
+	return s.fail
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// It returns the first process failure, or nil.
+func (s *Simulator) RunUntil(t Time) error {
+	for len(s.heap) > 0 && s.fail == nil {
+		if s.heap[0].at > t {
+			break
+		}
+		e := heap.Pop(&s.heap).(*event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+	}
+	if s.fail == nil && t > s.now {
+		s.now = t
+	}
+	return s.fail
+}
+
+// SetLimit makes Run stop once the clock would pass t. Zero removes the
+// limit.
+func (s *Simulator) SetLimit(t Time) { s.limit = t }
+
+// Stop makes Run return after the current event. Deployments with
+// periodic processes (heartbeats) never drain their event queue; a driver
+// calls Stop when its workload is done.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.heap) }
+
+// LiveProcs reports the number of processes that have been spawned and have
+// not yet finished.
+func (s *Simulator) LiveProcs() int { return s.nprocs }
+
+// Shutdown terminates every parked process so their goroutines exit. It is
+// safe to call after Run returns; the simulator must not be used afterward.
+func (s *Simulator) Shutdown() {
+	for len(s.parked) > 0 {
+		var p *Proc
+		for q := range s.parked {
+			p = q
+			break
+		}
+		delete(s.parked, p)
+		p.kill = true
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+	s.fail = nil
+}

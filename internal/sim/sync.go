@@ -1,0 +1,224 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox carrying values of type T between
+// processes (or from event callbacks into processes). It is the basic
+// communication primitive of the kernel: sockets, timers and protocol
+// mailboxes are all built on it.
+//
+// Queue is not safe for use outside the simulation's single-threaded
+// discipline; that is by design.
+type Queue[T any] struct {
+	sim     *Simulator
+	items   []T
+	waiters []*waiter
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to s.
+func NewQueue[T any](s *Simulator) *Queue[T] {
+	return &Queue[T]{sim: s}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes the oldest waiting process, if any. It never
+// blocks and may be called from event callbacks or processes. Pushes to
+// a closed queue are dropped (teardown races are expected in protocol
+// code).
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue closed: blocked and future Pops return ok=false
+// once the buffer drains, and later pushes are dropped.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, w := range q.waiters {
+		w.wake()
+	}
+	q.waiters = nil
+}
+
+func (q *Queue[T]) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.wake() {
+			return
+		}
+	}
+}
+
+// Pop blocks p until an item is available and returns it. ok is false when
+// the queue was closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		p.park()
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// PopTimeout is Pop with a deadline d from now. ok is false on timeout or
+// close.
+func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
+	if len(q.items) > 0 {
+		v = q.items[0]
+		q.items = q.items[1:]
+		return v, true
+	}
+	if q.closed || d <= 0 {
+		return v, false
+	}
+	deadline := p.sim.Now() + d
+	for {
+		w := &waiter{p: p}
+		q.waiters = append(q.waiters, w)
+		timer := p.sim.At(deadline, func() { w.wake() })
+		p.park()
+		timer.Cancel()
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			return v, true
+		}
+		if q.closed || p.sim.Now() >= deadline {
+			return v, false
+		}
+		// Spurious wakeup (an earlier waker lost the race); wait again.
+	}
+}
+
+// TryPop removes and returns an item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Future is a write-once value that processes can await. It is the
+// rendezvous for request/reply protocols.
+type Future[T any] struct {
+	sim     *Simulator
+	value   T
+	set     bool
+	waiters []*waiter
+}
+
+// NewFuture returns an unresolved future bound to s.
+func NewFuture[T any](s *Simulator) *Future[T] {
+	return &Future[T]{sim: s}
+}
+
+// Set resolves the future and wakes all waiters. Resolving twice panics:
+// it would indicate a protocol bug.
+func (f *Future[T]) Set(v T) {
+	if f.set {
+		panic("sim: Future resolved twice")
+	}
+	f.value = v
+	f.set = true
+	for _, w := range f.waiters {
+		w.wake()
+	}
+	f.waiters = nil
+}
+
+// Done reports whether the future is resolved.
+func (f *Future[T]) Done() bool { return f.set }
+
+// Value returns the resolved value; it panics if the future is pending.
+func (f *Future[T]) Value() T {
+	if !f.set {
+		panic("sim: Future.Value on pending future")
+	}
+	return f.value
+}
+
+// Wait blocks p until the future resolves and returns the value.
+func (f *Future[T]) Wait(p *Proc) T {
+	for !f.set {
+		w := &waiter{p: p}
+		f.waiters = append(f.waiters, w)
+		p.park()
+	}
+	return f.value
+}
+
+// WaitTimeout is Wait with a deadline d from now; ok is false on timeout.
+func (f *Future[T]) WaitTimeout(p *Proc, d Time) (v T, ok bool) {
+	if f.set {
+		return f.value, true
+	}
+	if d <= 0 {
+		return v, false
+	}
+	deadline := p.sim.Now() + d
+	for {
+		w := &waiter{p: p}
+		f.waiters = append(f.waiters, w)
+		timer := p.sim.At(deadline, func() { w.wake() })
+		p.park()
+		timer.Cancel()
+		if f.set {
+			return f.value, true
+		}
+		if p.sim.Now() >= deadline {
+			return v, false
+		}
+	}
+}
+
+// Group counts outstanding work, like a sync.WaitGroup for processes.
+type Group struct {
+	sim     *Simulator
+	n       int
+	waiters []*waiter
+}
+
+// NewGroup returns a group with zero outstanding work.
+func NewGroup(s *Simulator) *Group { return &Group{sim: s} }
+
+// Add adds delta (which may be negative) to the counter. The counter going
+// negative panics.
+func (g *Group) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("sim: negative Group counter")
+	}
+	if g.n == 0 {
+		for _, w := range g.waiters {
+			w.wake()
+		}
+		g.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Wait blocks p until the counter is zero.
+func (g *Group) Wait(p *Proc) {
+	for g.n != 0 {
+		w := &waiter{p: p}
+		g.waiters = append(g.waiters, w)
+		p.park()
+	}
+}

@@ -1,0 +1,204 @@
+// Package transport implements the endpoint transports NICEKV uses on top
+// of the simulated network (§5 "Implementation details"):
+//
+//   - UDP datagram sockets — clients send put/get requests over UDP to
+//     vnode addresses so the switch can rewrite them freely;
+//   - reliable streams ("TCP") — all other communication: replies,
+//     inter-node replication in NOOB, recovery transfers. Streams model a
+//     connection handshake, MSS segmentation, a sliding window with ack
+//     clocking (which is what makes concurrent flows share links), and
+//     timeout-based failure detection;
+//   - reliable UDP multicast — the NICE data path: data chunked below the
+//     MTU, NACK-based repair over unicast, ACK-based flow control; plus
+//     the any-k quorum variant whose window advances when any k receivers
+//     acknowledge (§5).
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MTU is the maximum datagram payload; the paper chunks multicast data
+// below a single network MTU (1400 bytes).
+const MTU = 1400
+
+// MSS is the stream segment payload size.
+const MSS = 1400
+
+// Errors reported by transports.
+var (
+	ErrTimeout = fmt.Errorf("transport: operation timed out")
+	ErrClosed  = fmt.Errorf("transport: endpoint closed")
+)
+
+// connKey demultiplexes stream segments.
+type connKey struct {
+	peer      netsim.IP
+	peerPort  uint16
+	localPort uint16
+}
+
+// Stack is the per-host transport mux: it owns the host's packet handler
+// and dispatches to bound sockets.
+type Stack struct {
+	host      *netsim.Host
+	s         *sim.Simulator
+	udp       map[uint16]*UDPSocket
+	listeners map[uint16]*Listener
+	conns     map[connKey]*Conn
+	mrecv     map[uint16]*MulticastReceiver
+	nextEphem uint16
+	xferSeq   uint64
+}
+
+// NewStack attaches a transport stack to h (replacing its handler).
+func NewStack(h *netsim.Host) *Stack {
+	st := &Stack{
+		host:      h,
+		s:         h.Sim(),
+		udp:       make(map[uint16]*UDPSocket),
+		listeners: make(map[uint16]*Listener),
+		conns:     make(map[connKey]*Conn),
+		mrecv:     make(map[uint16]*MulticastReceiver),
+		nextEphem: 49152,
+	}
+	h.SetHandler(st.recv)
+	return st
+}
+
+// Host returns the underlying host.
+func (st *Stack) Host() *netsim.Host { return st.host }
+
+// Sim returns the driving simulator.
+func (st *Stack) Sim() *sim.Simulator { return st.s }
+
+// IP returns the host address.
+func (st *Stack) IP() netsim.IP { return st.host.IP() }
+
+// ephemeralPort hands out client-side port numbers.
+func (st *Stack) ephemeralPort() uint16 {
+	for {
+		p := st.nextEphem
+		st.nextEphem++
+		if st.nextEphem == 0 {
+			st.nextEphem = 49152
+		}
+		if _, udpUsed := st.udp[p]; udpUsed {
+			continue
+		}
+		if _, lnUsed := st.listeners[p]; lnUsed {
+			continue
+		}
+		return p
+	}
+}
+
+// recv dispatches an incoming packet to the owning socket.
+func (st *Stack) recv(pkt *netsim.Packet) {
+	switch pkt.Proto {
+	case netsim.ProtoUDP:
+		switch pl := pkt.Payload.(type) {
+		case *chunkMsg:
+			if r, ok := st.mrecv[pkt.DstPort]; ok {
+				r.recvChunk(pkt, pl)
+			}
+		default:
+			if u, ok := st.udp[pkt.DstPort]; ok {
+				u.deliver(pkt)
+			}
+		}
+	case netsim.ProtoTCP:
+		st.recvTCP(pkt)
+	}
+}
+
+// Datagram is a received UDP message.
+type Datagram struct {
+	From     netsim.IP
+	FromPort uint16
+	// To is the destination address on the wire when the datagram
+	// arrived. For NICE this differs from the address the client sent
+	// to: the fabric rewrote the vnode address to the physical one.
+	To     netsim.IP
+	ToPort uint16
+	Data   any
+	Size   int // payload bytes
+}
+
+// UDPSocket sends and receives datagrams on a bound port.
+type UDPSocket struct {
+	stack *Stack
+	port  uint16
+	rq    *sim.Queue[*Datagram]
+}
+
+// BindUDP binds a datagram socket; port 0 picks an ephemeral port.
+func (st *Stack) BindUDP(port uint16) (*UDPSocket, error) {
+	if port == 0 {
+		port = st.ephemeralPort()
+	}
+	if _, dup := st.udp[port]; dup {
+		return nil, fmt.Errorf("transport: UDP port %d in use on %s", port, st.host.DeviceName())
+	}
+	u := &UDPSocket{stack: st, port: port, rq: sim.NewQueue[*Datagram](st.s)}
+	st.udp[port] = u
+	return u, nil
+}
+
+// MustBindUDP is BindUDP that panics on error; for topology setup.
+func (st *Stack) MustBindUDP(port uint16) *UDPSocket {
+	u, err := st.BindUDP(port)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Port returns the bound port.
+func (u *UDPSocket) Port() uint16 { return u.port }
+
+// SendTo transmits one datagram of size payload bytes. Datagrams above
+// the MTU panic: callers must chunk (the multicast sender does).
+func (u *UDPSocket) SendTo(to netsim.IP, toPort uint16, data any, size int) {
+	if size > MTU {
+		panic(fmt.Sprintf("transport: %d-byte datagram exceeds MTU", size))
+	}
+	u.stack.host.Send(&netsim.Packet{
+		DstIP:   to,
+		Proto:   netsim.ProtoUDP,
+		SrcPort: u.port,
+		DstPort: toPort,
+		Size:    size + netsim.UDPHeaderSize,
+		Payload: data,
+	})
+}
+
+// Recv blocks until a datagram arrives.
+func (u *UDPSocket) Recv(p *sim.Proc) (*Datagram, bool) { return u.rq.Pop(p) }
+
+// RecvTimeout is Recv with a deadline.
+func (u *UDPSocket) RecvTimeout(p *sim.Proc, d sim.Time) (*Datagram, bool) {
+	return u.rq.PopTimeout(p, d)
+}
+
+// Close unbinds the socket and wakes blocked receivers.
+func (u *UDPSocket) Close() {
+	if st := u.stack; st.udp[u.port] == u {
+		delete(st.udp, u.port)
+	}
+	u.rq.Close()
+}
+
+func (u *UDPSocket) deliver(pkt *netsim.Packet) {
+	u.rq.Push(&Datagram{
+		From:     pkt.SrcIP,
+		FromPort: pkt.SrcPort,
+		To:       pkt.DstIP,
+		ToPort:   pkt.DstPort,
+		Data:     pkt.Payload,
+		Size:     pkt.Size - netsim.UDPHeaderSize,
+	})
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDefineUnknownWorkload(t *testing.T) {
+	if _, err := Define("E", 100); err == nil {
+		t.Fatal("E (scan workload) should be rejected")
+	}
+	if _, err := Define("zzz", 100); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name   string
+		counts map[OpType]float64 // expected proportions
+	}{
+		{"A", map[OpType]float64{Read: 0.5, Update: 0.5}},
+		{"B", map[OpType]float64{Read: 0.95, Update: 0.05}},
+		{"C", map[OpType]float64{Read: 1.0}},
+		{"F", map[OpType]float64{Read: 0.5, ReadModifyWrite: 0.5}},
+	}
+	const n = 20000
+	for _, c := range cases {
+		w := MustDefine(c.name, 1000)
+		got := map[OpType]int{}
+		for i := 0; i < n; i++ {
+			got[w.Next(rng).Type]++
+		}
+		for typ, want := range c.counts {
+			frac := float64(got[typ]) / n
+			if frac < want-0.02 || frac > want+0.02 {
+				t.Errorf("workload %s: %v fraction = %.3f, want ~%.2f", c.name, typ, frac, want)
+			}
+		}
+		for typ, cnt := range got {
+			if _, expected := c.counts[typ]; !expected && cnt > 0 {
+				t.Errorf("workload %s produced unexpected op %v", c.name, typ)
+			}
+		}
+	}
+}
+
+func TestWorkloadDInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := MustDefine("D", 1000)
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		op := w.Next(rng)
+		if op.Type == Insert {
+			inserts++
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("workload D produced no inserts")
+	}
+	if w.Records() != 1000+inserts {
+		t.Fatalf("records = %d, want %d", w.Records(), 1000+inserts)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipfian(1000)
+	counts := make(map[int]int)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := z.Next(rng)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	// Zipf(0.99): the most popular record draws a few percent of all
+	// requests; the top 10 together dominate a uniform distribution.
+	if freqs[0] < n/100 {
+		t.Fatalf("hottest key got %d/%d; not skewed enough", freqs[0], n)
+	}
+	top10 := 0
+	for _, f := range freqs[:10] {
+		top10 += f
+	}
+	if top10 < n/5 {
+		t.Fatalf("top-10 keys got %d/%d; zipf should concentrate >20%%", top10, n)
+	}
+	// Uniform comparison: top-10 of uniform is ~1%.
+	u := Uniform{N: 1000}
+	ucounts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		ucounts[u.Next(rng)]++
+	}
+	if len(ucounts) < 990 {
+		t.Fatalf("uniform chooser missed keys: %d distinct", len(ucounts))
+	}
+}
+
+func TestZipfianUnscrambledMonotone(t *testing.T) {
+	// Without scrambling, rank 0 must be the most popular.
+	rng := rand.New(rand.NewSource(4))
+	z := newZipfian(100, ZipfTheta, false)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next(rng)]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[5] {
+		t.Fatalf("unscrambled zipf not rank-ordered: %v", counts[:6])
+	}
+}
+
+func TestLatestFavorsRecentRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := MustDefine("D", 1000)
+	recent, old := 0, 0
+	for i := 0; i < 20000; i++ {
+		op := w.Next(rng)
+		if op.Type != Read {
+			continue
+		}
+		var idx int
+		if _, err := fscan(op.Key, &idx); err != nil {
+			t.Fatal(err)
+		}
+		if idx >= w.Records()-100 {
+			recent++
+		} else if idx < w.Records()-500 {
+			old++
+		}
+	}
+	if recent <= old {
+		t.Fatalf("latest distribution: recent=%d old=%d", recent, old)
+	}
+}
+
+func fscan(key string, idx *int) (int, error) {
+	var n int
+	_, err := sscanf(key, &n)
+	*idx = n
+	return n, err
+}
+
+func sscanf(key string, n *int) (int, error) {
+	v := 0
+	for i := 4; i < len(key); i++ { // skip "user"
+		v = v*10 + int(key[i]-'0')
+	}
+	*n = v
+	return v, nil
+}
+
+func TestPutFraction(t *testing.T) {
+	if f := MustDefine("C", 10).PutFraction(); f != 0 {
+		t.Fatalf("C put fraction = %v", f)
+	}
+	if f := MustDefine("F", 10).PutFraction(); f != 0.5 {
+		t.Fatalf("F put fraction = %v", f)
+	}
+}
