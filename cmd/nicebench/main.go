@@ -2,35 +2,98 @@
 // (§6) on the simulated testbed. Each experiment prints the same series
 // the paper plots; EXPERIMENTS.md records a paper-vs-measured comparison.
 //
+// The figure sweeps run their (system, size) grids on all cores by
+// default (see internal/cluster.RunCells); -seq forces the sequential
+// path, and -compare runs both and reports the speedup. Wall-clock
+// timings are printed per figure and written as JSON for tracking across
+// commits.
+//
 // Usage:
 //
-//	nicebench -experiment all            # everything, paper-scale op counts
-//	nicebench -experiment fig5 -ops 200  # one figure, reduced cost
+//	nicebench -experiment all             # everything, paper-scale op counts
+//	nicebench -experiment fig5 -ops 200   # one figure, reduced cost
+//	nicebench -experiment fig5 -compare   # parallel vs sequential wall clock
+//	nicebench -experiment kernel          # sim/netsim micro-benchmarks -> BENCH_kernel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
 )
+
+// benchEnv records where a measurement was taken; a speedup number is
+// meaningless without the core count next to it.
+type benchEnv struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func env() benchEnv {
+	return benchEnv{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
+// figResult is one figure's wall-clock measurement.
+type figResult struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// SecondsSequential and Speedup are filled by -compare.
+	SecondsSequential float64 `json:"seconds_sequential,omitempty"`
+	Speedup           float64 `json:"speedup,omitempty"`
+}
+
+type figuresReport struct {
+	Env      benchEnv    `json:"env"`
+	Ops      int         `json:"ops"`
+	Seed     int64       `json:"seed"`
+	Parallel bool        `json:"parallel"`
+	Figures  []figResult `json:"figures"`
+}
+
+type kernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type kernelReport struct {
+	Env        benchEnv       `json:"env"`
+	Benchmarks []kernelResult `json:"benchmarks"`
+}
 
 func main() {
 	var (
-		exp     = flag.String("experiment", "all", "which experiment: all, fig4..fig12, tables")
-		ops     = flag.Int("ops", 1000, "operations per measurement point (paper: 1000)")
-		ycsbOps = flag.Int("ycsb-ops", 2000, "YCSB operations per client (paper: 20000)")
-		clients = flag.Int("clients", 10, "YCSB client count (paper: 10)")
-		seed    = flag.Int64("seed", 42, "simulation seed")
+		exp      = flag.String("experiment", "all", "which experiment: all, fig4..fig12, tables, kernel")
+		ops      = flag.Int("ops", 1000, "operations per measurement point (paper: 1000)")
+		ycsbOps  = flag.Int("ycsb-ops", 2000, "YCSB operations per client (paper: 20000)")
+		clients  = flag.Int("clients", 10, "YCSB client count (paper: 10)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Bool("parallel", true, "run figure grid cells on all cores")
+		seq      = flag.Bool("seq", false, "force sequential cell execution (overrides -parallel)")
+		compare  = flag.Bool("compare", false, "time each figure both parallel and sequential")
+		figOut   = flag.String("figures-out", "BENCH_figures.json", "write figure wall-clock timings here (empty: skip)")
+		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
 	)
 	flag.Parse()
 
-	pr := cluster.Params{Ops: *ops, Seed: *seed}
+	pr := cluster.Params{Ops: *ops, Seed: *seed, Seq: *seq || !*parallel}
 	// "all" covers the paper's figures and tables; the extended
-	// experiments (ycsb-all, scale-out, fabric) run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true}
+	// experiments (ycsb-all, scale-out, fabric) and the kernel
+	// micro-benchmarks run when named.
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -50,74 +113,134 @@ func main() {
 		ran++
 	}
 
-	if want("fig4") {
-		fig, err := cluster.Fig4RequestRouting(pr)
-		if err != nil {
+	var timings []figResult
+	// timeIt measures fn's wall clock under the selected mode. With
+	// -compare it re-runs the sweep sequentially (discarding the repeated
+	// output) so the report carries both numbers and their ratio.
+	timeIt := func(name string, fn func(p cluster.Params) error) {
+		t0 := time.Now()
+		if err := fn(pr); err != nil {
 			fail(err)
 		}
-		show(fig)
+		res := figResult{Name: name, Seconds: time.Since(t0).Seconds()}
+		if *compare && !pr.Seq {
+			sp := pr
+			sp.Seq = true
+			t1 := time.Now()
+			if err := fn(sp); err != nil {
+				fail(err)
+			}
+			res.SecondsSequential = time.Since(t1).Seconds()
+			if res.Seconds > 0 {
+				res.Speedup = res.SecondsSequential / res.Seconds
+			}
+			fmt.Printf("-- %s: %.2fs wall (parallel), %.2fs (sequential), %.2fx speedup\n\n",
+				name, res.Seconds, res.SecondsSequential, res.Speedup)
+		} else {
+			fmt.Printf("-- %s: %.2fs wall\n\n", name, res.Seconds)
+		}
+		timings = append(timings, res)
+	}
+
+	if want("fig4") {
+		shown := false
+		timeIt("fig4", func(p cluster.Params) error {
+			fig, err := cluster.Fig4RequestRouting(p)
+			if err == nil && !shown {
+				shown = true
+				show(fig)
+			}
+			return err
+		})
 	}
 	if want("fig5") || want("fig6") || want("fig7") {
-		f5, f6, f7, err := cluster.ReplicationFigures(pr)
-		if err != nil {
-			fail(err)
-		}
-		switch {
-		case *exp == "all":
-			show(f5, f6, f7)
-		case want("fig5"):
-			show(f5)
-		case want("fig6"):
-			show(f6)
-		default:
-			show(f7)
-		}
+		shown := false
+		timeIt("fig5-7", func(p cluster.Params) error {
+			f5, f6, f7, err := cluster.ReplicationFigures(p)
+			if err != nil || shown {
+				return err
+			}
+			shown = true
+			switch {
+			case *exp == "all":
+				show(f5, f6, f7)
+			case want("fig5"):
+				show(f5)
+			case want("fig6"):
+				show(f6)
+			default:
+				show(f7)
+			}
+			return nil
+		})
 	}
 	if want("fig8") {
 		qp := pr
 		if *exp == "all" && qp.Ops > 100 {
 			qp.Ops = 100 // 1 MB x 1000 puts x 8 configs is slow; cap in 'all' mode
 		}
-		a, b, err := cluster.Fig8Quorum(qp)
-		if err != nil {
-			fail(err)
-		}
-		show(a, b)
+		shown := false
+		timeIt("fig8", func(p cluster.Params) error {
+			p.Ops = qp.Ops
+			a, b, err := cluster.Fig8Quorum(p)
+			if err == nil && !shown {
+				shown = true
+				show(a, b)
+			}
+			return err
+		})
 	}
 	if want("fig9") {
-		figs, err := cluster.Fig9Consistency(pr)
-		if err != nil {
-			fail(err)
-		}
-		for _, size := range cluster.ConsistencySizes {
-			show(figs[size])
-		}
+		shown := false
+		timeIt("fig9", func(p cluster.Params) error {
+			figs, err := cluster.Fig9Consistency(p)
+			if err == nil && !shown {
+				shown = true
+				for _, size := range cluster.ConsistencySizes {
+					show(figs[size])
+				}
+			}
+			return err
+		})
 	}
 	if want("fig10") {
-		figs, err := cluster.Fig10LoadBalancing(pr)
-		if err != nil {
-			fail(err)
-		}
-		for _, size := range cluster.ConsistencySizes {
-			show(figs[size])
-		}
+		shown := false
+		timeIt("fig10", func(p cluster.Params) error {
+			figs, err := cluster.Fig10LoadBalancing(p)
+			if err == nil && !shown {
+				shown = true
+				for _, size := range cluster.ConsistencySizes {
+					show(figs[size])
+				}
+			}
+			return err
+		})
 	}
 	if want("fig11") {
+		t0 := time.Now()
 		res, err := cluster.Fig11FaultTolerance(cluster.DefaultFTParams())
 		if err != nil {
 			fail(err)
 		}
 		show(res.Figure())
+		dt := time.Since(t0).Seconds()
+		fmt.Printf("-- fig11: %.2fs wall\n\n", dt)
+		timings = append(timings, figResult{Name: "fig11", Seconds: dt})
 	}
 	if want("fig12") {
-		fig, err := cluster.Fig12YCSB(cluster.Params{Ops: *ycsbOps, Seed: *seed}, *clients)
-		if err != nil {
-			fail(err)
-		}
-		show(fig)
+		shown := false
+		timeIt("fig12", func(p cluster.Params) error {
+			p.Ops = *ycsbOps
+			fig, err := cluster.Fig12YCSB(p, *clients)
+			if err == nil && !shown {
+				shown = true
+				show(fig)
+			}
+			return err
+		})
 	}
 	if want("ycsb-all") {
-		fig, err := cluster.YCSBAllWorkloads(cluster.Params{Ops: *ycsbOps, Seed: *seed}, *clients)
+		fig, err := cluster.YCSBAllWorkloads(cluster.Params{Ops: *ycsbOps, Seed: *seed, Seq: pr.Seq}, *clients)
 		if err != nil {
 			fail(err)
 		}
@@ -155,10 +278,126 @@ func main() {
 		}
 		show(sw, mem)
 	}
+	if *exp == "kernel" {
+		report := kernelReport{Env: env(), Benchmarks: kernelBenchmarks()}
+		for _, b := range report.Benchmarks {
+			fmt.Printf("%-22s %12.1f ns/op %6d B/op %4d allocs/op\n",
+				b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+		}
+		if *kernOut != "" {
+			if err := writeJSON(*kernOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *kernOut)
+		}
+		ran++
+	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables ycsb-all scale-out fabric)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}
+
+	if len(timings) > 0 && *figOut != "" {
+		report := figuresReport{Env: env(), Ops: *ops, Seed: *seed, Parallel: !pr.Seq, Figures: timings}
+		if err := writeJSON(*figOut, report); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *figOut)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// kernelBenchmarks measures the simulation kernel and network substrate
+// hot paths via testing.Benchmark, mirroring the package benchmarks in
+// internal/sim and internal/netsim so the numbers are trackable without a
+// test run.
+func kernelBenchmarks() []kernelResult {
+	var out []kernelResult
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		out = append(out, kernelResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	add("EventChurn", func(b *testing.B) {
+		s := sim.New(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.After(time.Microsecond, func() {})
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("SleepWake", func(b *testing.B) {
+		s := sim.New(1)
+		s.Spawn("sleeper", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(time.Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	add("QueueHandoff", func(b *testing.B) {
+		s := sim.New(1)
+		q := sim.NewQueue[int](s)
+		s.Spawn("consumer", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := q.Pop(p); !ok {
+					return
+				}
+			}
+		})
+		s.Spawn("producer", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				q.Push(i)
+				p.Sleep(0)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	add("NetHostToHost", func(b *testing.B) {
+		s := sim.New(1)
+		n := netsim.NewNetwork(s)
+		a := n.NewHost("a", netsim.MustParseIP("10.0.0.1"))
+		c := n.NewHost("c", netsim.MustParseIP("10.0.0.2"))
+		n.Connect(a.Port(), c.Port(), netsim.Gbps(10, time.Microsecond))
+		c.SetHandler(func(pkt *netsim.Packet) { n.RecyclePacket(pkt) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pkt := n.NewPacket()
+			pkt.DstIP = c.IP()
+			pkt.DstMAC = c.MAC()
+			pkt.Proto = netsim.ProtoUDP
+			pkt.Size = 1400
+			a.Send(pkt)
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return out
 }

@@ -16,6 +16,10 @@ import (
 type Params struct {
 	Ops  int
 	Seed int64
+	// Seq forces the figure sweeps to run their grid cells sequentially
+	// instead of on the RunCells worker pool. Results are identical either
+	// way; Seq exists for debugging and the determinism tests.
+	Seq bool
 }
 
 // DefaultParams mirrors the paper's operation counts.
@@ -152,8 +156,78 @@ func driveNOOB(d *NOOB, fn func(p *sim.Proc)) error {
 	return d.Sim.Run()
 }
 
+// fig4Systems is Fig. 4's system axis: NICE then the NOOB variants.
+func fig4Systems() []string {
+	names := []string{"NICE"}
+	for _, v := range noobVariants {
+		names = append(names, v.Name)
+	}
+	return names
+}
+
+// fig4NICEGet measures mean get latency for one (NICE, size) cell.
+func fig4NICEGet(pr Params, size int) (float64, error) {
+	opts := DefaultOptions()
+	opts.Seed = pr.Seed
+	d := NewNICE(opts)
+	var h metrics.Histogram
+	err := driveNICE(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		if _, err := c.Put(p, "routed", "v", size); err != nil {
+			return
+		}
+		for i := 0; i < pr.Ops; i++ {
+			res, err := c.Get(p, "routed")
+			if err != nil || !res.Found {
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if h.N() != pr.Ops {
+		return 0, fmt.Errorf("fig4: NICE size %d completed %d/%d gets", size, h.N(), pr.Ops)
+	}
+	return h.Mean(), nil
+}
+
+// fig4NOOBGet measures mean get latency for one (NOOB variant, size) cell.
+func fig4NOOBGet(pr Params, size int, access noob.AccessMode, gw noob.GatewayMode) (float64, error) {
+	opts := DefaultNOOBOptions()
+	opts.Seed = pr.Seed
+	opts.Access = access
+	opts.Gateway = gw
+	d := NewNOOB(opts)
+	var h metrics.Histogram
+	err := driveNOOB(d, func(p *sim.Proc) {
+		c := d.Clients[0]
+		if _, err := c.Put(p, "routed", "v", size); err != nil {
+			return
+		}
+		for i := 0; i < pr.Ops; i++ {
+			res, err := c.Get(p, "routed")
+			if err != nil || !res.Found {
+				return
+			}
+			h.Add(res.Latency)
+		}
+	})
+	d.Close()
+	if err != nil {
+		return 0, err
+	}
+	if h.N() != pr.Ops {
+		return 0, fmt.Errorf("fig4: NOOB size %d completed %d/%d gets", size, h.N(), pr.Ops)
+	}
+	return h.Mean(), nil
+}
+
 // Fig4RequestRouting reproduces Fig. 4: mean get latency vs object size
-// for NICE and the three NOOB access mechanisms.
+// for NICE and the three NOOB access mechanisms. The (system, size) grid
+// runs on the RunCells worker pool.
 func Fig4RequestRouting(pr Params) (*Figure, error) {
 	fig := &Figure{
 		ID:     "fig4",
@@ -161,67 +235,32 @@ func Fig4RequestRouting(pr Params) (*Figure, error) {
 		XLabel: "size",
 		YLabel: "seconds per get, mean",
 	}
-
-	nice := Series{System: "NICE"}
-	for _, size := range ObjectSizes {
-		opts := DefaultOptions()
-		opts.Seed = pr.Seed
-		d := NewNICE(opts)
-		var h metrics.Histogram
-		err := driveNICE(d, func(p *sim.Proc) {
-			c := d.Clients[0]
-			if _, err := c.Put(p, "routed", "v", size); err != nil {
-				return
-			}
-			for i := 0; i < pr.Ops; i++ {
-				res, err := c.Get(p, "routed")
-				if err != nil || !res.Found {
-					return
-				}
-				h.Add(res.Latency)
-			}
-		})
-		d.Close()
-		if err != nil {
-			return nil, err
+	systems := fig4Systems()
+	nsizes := len(ObjectSizes)
+	vals := make([]float64, len(systems)*nsizes)
+	err := RunCells(pr, len(vals), func(i int, seed int64) error {
+		sysIdx, sizeIdx := i/nsizes, i%nsizes
+		cpr := pr
+		cpr.Seed = seed
+		size := ObjectSizes[sizeIdx]
+		var v float64
+		var err error
+		if sysIdx == 0 {
+			v, err = fig4NICEGet(cpr, size)
+		} else {
+			variant := noobVariants[sysIdx-1]
+			v, err = fig4NOOBGet(cpr, size, variant.Access, variant.GW)
 		}
-		if h.N() != pr.Ops {
-			return nil, fmt.Errorf("fig4: NICE size %d completed %d/%d gets", size, h.N(), pr.Ops)
-		}
-		nice.Points = append(nice.Points, Point{X: metrics.FormatSize(size), Value: h.Mean()})
+		vals[i] = v
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = append(fig.Series, nice)
-
-	for _, variant := range noobVariants {
-		s := Series{System: variant.Name}
-		for _, size := range ObjectSizes {
-			opts := DefaultNOOBOptions()
-			opts.Seed = pr.Seed
-			opts.Access = variant.Access
-			opts.Gateway = variant.GW
-			d := NewNOOB(opts)
-			var h metrics.Histogram
-			err := driveNOOB(d, func(p *sim.Proc) {
-				c := d.Clients[0]
-				if _, err := c.Put(p, "routed", "v", size); err != nil {
-					return
-				}
-				for i := 0; i < pr.Ops; i++ {
-					res, err := c.Get(p, "routed")
-					if err != nil || !res.Found {
-						return
-					}
-					h.Add(res.Latency)
-				}
-			})
-			d.Close()
-			if err != nil {
-				return nil, err
-			}
-			if h.N() != pr.Ops {
-				return nil, fmt.Errorf("fig4: %s size %d completed %d/%d gets", variant.Name, size, h.N(), pr.Ops)
-			}
-			s.Points = append(s.Points, Point{X: metrics.FormatSize(size), Value: h.Mean()})
+	for si, name := range systems {
+		s := Series{System: name}
+		for zi, size := range ObjectSizes {
+			s.Points = append(s.Points, Point{X: metrics.FormatSize(size), Value: vals[si*nsizes+zi]})
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -339,28 +378,34 @@ func ReplicationFigures(pr Params) (fig5, fig6, fig7 *Figure, err error) {
 	fig6 = &Figure{ID: "fig6", Title: "Network link load per put", XLabel: "size", YLabel: "bytes over all links per put"}
 	fig7 = &Figure{ID: "fig7", Title: "Storage load ratio (primary:secondary)", XLabel: "size", YLabel: "ratio of bytes moved"}
 
-	type sysRunner struct {
-		name string
-		run  func(size int) (replicationRun, error)
+	systems := fig4Systems()
+	nsizes := len(ObjectSizes)
+	runs := make([]replicationRun, len(systems)*nsizes)
+	err = RunCells(pr, len(runs), func(i int, seed int64) error {
+		sysIdx, sizeIdx := i/nsizes, i%nsizes
+		cpr := pr
+		cpr.Seed = seed
+		size := ObjectSizes[sizeIdx]
+		var run replicationRun
+		var err error
+		if sysIdx == 0 {
+			run, err = nicePutRun(cpr, size)
+		} else {
+			variant := noobVariants[sysIdx-1]
+			run, err = noobPutRun(cpr, size, variant.Access, variant.GW)
+		}
+		runs[i] = run
+		return err
+	})
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	systems := []sysRunner{
-		{"NICE", func(size int) (replicationRun, error) { return nicePutRun(pr, size) }},
-	}
-	for _, v := range noobVariants {
-		v := v
-		systems = append(systems, sysRunner{v.Name, func(size int) (replicationRun, error) {
-			return noobPutRun(pr, size, v.Access, v.GW)
-		}})
-	}
-	for _, sys := range systems {
-		s5 := Series{System: sys.name}
-		s6 := Series{System: sys.name}
-		s7 := Series{System: sys.name}
-		for _, size := range ObjectSizes {
-			run, err := sys.run(size)
-			if err != nil {
-				return nil, nil, nil, err
-			}
+	for si, name := range systems {
+		s5 := Series{System: name}
+		s6 := Series{System: name}
+		s7 := Series{System: name}
+		for zi, size := range ObjectSizes {
+			run := runs[si*nsizes+zi]
 			x := metrics.FormatSize(size)
 			s5.Points = append(s5.Points, Point{X: x, Value: run.lat})
 			s6.Points = append(s6.Points, Point{X: x, Value: run.linkBytes})

@@ -32,27 +32,37 @@ func Fig8Quorum(pr Params) (figTime, figBW *Figure, err error) {
 	figBW = &Figure{ID: "fig8b", Title: "Quorum replication: bandwidth (R=7, 3 slow replicas)",
 		XLabel: "quorum", YLabel: "MB/s per put"}
 
-	niceT := Series{System: "NICE"}
-	niceB := Series{System: "NICE"}
-	noobT := Series{System: "NOOB"}
-	noobB := Series{System: "NOOB"}
-	for _, k := range QuorumSizes {
-		lat, err := niceQuorumRun(pr, k)
-		if err != nil {
-			return nil, nil, err
+	// Grid: 2 systems (NICE, NOOB) x quorum sizes.
+	nq := len(QuorumSizes)
+	lats := make([]float64, 2*nq)
+	err = RunCells(pr, len(lats), func(i int, seed int64) error {
+		sysIdx, qIdx := i/nq, i%nq
+		cpr := pr
+		cpr.Seed = seed
+		var lat float64
+		var err error
+		if sysIdx == 0 {
+			lat, err = niceQuorumRun(cpr, QuorumSizes[qIdx])
+		} else {
+			lat, err = noobQuorumRun(cpr, QuorumSizes[qIdx])
 		}
-		niceT.Points = append(niceT.Points, Point{X: fmt.Sprintf("%d", k), Value: lat})
-		niceB.Points = append(niceB.Points, Point{X: fmt.Sprintf("%d", k), Value: float64(quorumObjSize) / lat / 1e6})
-
-		lat, err = noobQuorumRun(pr, k)
-		if err != nil {
-			return nil, nil, err
-		}
-		noobT.Points = append(noobT.Points, Point{X: fmt.Sprintf("%d", k), Value: lat})
-		noobB.Points = append(noobB.Points, Point{X: fmt.Sprintf("%d", k), Value: float64(quorumObjSize) / lat / 1e6})
+		lats[i] = lat
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	figTime.Series = []Series{niceT, noobT}
-	figBW.Series = []Series{niceB, noobB}
+	for sysIdx, name := range []string{"NICE", "NOOB"} {
+		st := Series{System: name}
+		sb := Series{System: name}
+		for qIdx, k := range QuorumSizes {
+			lat := lats[sysIdx*nq+qIdx]
+			st.Points = append(st.Points, Point{X: fmt.Sprintf("%d", k), Value: lat})
+			sb.Points = append(sb.Points, Point{X: fmt.Sprintf("%d", k), Value: float64(quorumObjSize) / lat / 1e6})
+		}
+		figTime.Series = append(figTime.Series, st)
+		figBW.Series = append(figBW.Series, sb)
+	}
 	return figTime, figBW, nil
 }
 
@@ -144,39 +154,50 @@ var ConsistencySizes = []int{4, 1 << 20}
 // Fig9Consistency reproduces Fig. 9: put time vs replication level for
 // NICE, NOOB primary-only, and NOOB 2PC (RAC routing), at 4 B and 1 MB.
 func Fig9Consistency(pr Params) (map[int]*Figure, error) {
+	// Grid: sizes x 3 systems x replication levels.
+	names := []string{"NICE", "NOOB primary-only", "NOOB 2PC"}
+	nr := len(ReplicationLevels)
+	cells := len(ConsistencySizes) * len(names) * nr
+	lats := make([]float64, cells)
+	err := RunCells(pr, cells, func(i int, seed int64) error {
+		rIdx := i % nr
+		sysIdx := (i / nr) % len(names)
+		sizeIdx := i / (nr * len(names))
+		cpr := pr
+		cpr.Seed = seed
+		r, size := ReplicationLevels[rIdx], ConsistencySizes[sizeIdx]
+		var lat float64
+		var err error
+		switch sysIdx {
+		case 0:
+			lat, err = nicePutLatency(cpr, r, size)
+		case 1:
+			lat, err = noobPutLatency(cpr, r, size, noob.PrimaryOnly)
+		default:
+			lat, err = noobPutLatency(cpr, r, size, noob.TwoPC)
+		}
+		lats[i] = lat
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]*Figure)
-	for _, size := range ConsistencySizes {
+	for sizeIdx, size := range ConsistencySizes {
 		fig := &Figure{
 			ID:     fmt.Sprintf("fig9-%s", metrics.FormatSize(size)),
 			Title:  fmt.Sprintf("Consistency mechanism: put time, %s objects", metrics.FormatSize(size)),
 			XLabel: "R",
 			YLabel: "seconds per put, mean",
 		}
-		nice := Series{System: "NICE"}
-		prim := Series{System: "NOOB primary-only"}
-		twopc := Series{System: "NOOB 2PC"}
-		for _, r := range ReplicationLevels {
-			x := fmt.Sprintf("%d", r)
-
-			lat, err := nicePutLatency(pr, r, size)
-			if err != nil {
-				return nil, err
+		for sysIdx, name := range names {
+			s := Series{System: name}
+			for rIdx, r := range ReplicationLevels {
+				i := (sizeIdx*len(names)+sysIdx)*nr + rIdx
+				s.Points = append(s.Points, Point{X: fmt.Sprintf("%d", r), Value: lats[i]})
 			}
-			nice.Points = append(nice.Points, Point{X: x, Value: lat})
-
-			lat, err = noobPutLatency(pr, r, size, noob.PrimaryOnly)
-			if err != nil {
-				return nil, err
-			}
-			prim.Points = append(prim.Points, Point{X: x, Value: lat})
-
-			lat, err = noobPutLatency(pr, r, size, noob.TwoPC)
-			if err != nil {
-				return nil, err
-			}
-			twopc.Points = append(twopc.Points, Point{X: x, Value: lat})
+			fig.Series = append(fig.Series, s)
 		}
-		fig.Series = []Series{nice, prim, twopc}
 		out[size] = fig
 	}
 	return out, nil
@@ -245,43 +266,57 @@ func noobPutLatency(pr Params, r, size int, cons noob.Consistency) (float64, err
 // "get-only" series is the paper's line marker (workload without the put
 // client). Values are mean operation latencies.
 func Fig10LoadBalancing(pr Params) (map[int]*Figure, error) {
+	systems := []struct {
+		name    string
+		getOnly bool
+	}{
+		{"NICE", false}, {"NICE get-only", true},
+		{"NOOB primary-only", false}, {"NOOB primary-only get-only", true},
+		{"NOOB 2PC", false}, {"NOOB 2PC get-only", true},
+	}
+	// Grid: sizes x 6 systems x replication levels.
+	nr := len(ReplicationLevels)
+	cells := len(ConsistencySizes) * len(systems) * nr
+	lats := make([]float64, cells)
+	err := RunCells(pr, cells, func(i int, seed int64) error {
+		rIdx := i % nr
+		sysIdx := (i / nr) % len(systems)
+		sizeIdx := i / (nr * len(systems))
+		cpr := pr
+		cpr.Seed = seed
+		r, size := ReplicationLevels[rIdx], ConsistencySizes[sizeIdx]
+		sys := systems[sysIdx]
+		var lat float64
+		var err error
+		switch {
+		case strings.HasPrefix(sys.name, "NICE"):
+			lat, err = niceHotKeyRun(cpr, r, size, sys.getOnly)
+		case strings.HasPrefix(sys.name, "NOOB primary-only"):
+			lat, err = noobHotKeyRun(cpr, r, size, noob.PrimaryOnly, sys.getOnly)
+		default:
+			lat, err = noobHotKeyRun(cpr, r, size, noob.TwoPC, sys.getOnly)
+		}
+		lats[i] = lat
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[int]*Figure)
-	for _, size := range ConsistencySizes {
+	for sizeIdx, size := range ConsistencySizes {
 		fig := &Figure{
 			ID:     fmt.Sprintf("fig10-%s", metrics.FormatSize(size)),
 			Title:  fmt.Sprintf("Load balancing weak scaling, %s objects", metrics.FormatSize(size)),
 			XLabel: "R (= clients)",
 			YLabel: "seconds per op, mean",
 		}
-		systems := []struct {
-			name    string
-			getOnly bool
-		}{
-			{"NICE", false}, {"NICE get-only", true},
-			{"NOOB primary-only", false}, {"NOOB primary-only get-only", true},
-			{"NOOB 2PC", false}, {"NOOB 2PC get-only", true},
-		}
 		series := make([]Series, len(systems))
-		for i, sys := range systems {
-			series[i].System = sys.name
-		}
-		for _, r := range ReplicationLevels {
-			x := fmt.Sprintf("%d", r)
-			for i, sys := range systems {
-				var lat float64
-				var err error
-				switch {
-				case strings.HasPrefix(sys.name, "NICE"):
-					lat, err = niceHotKeyRun(pr, r, size, sys.getOnly)
-				case strings.HasPrefix(sys.name, "NOOB primary-only"):
-					lat, err = noobHotKeyRun(pr, r, size, noob.PrimaryOnly, sys.getOnly)
-				default:
-					lat, err = noobHotKeyRun(pr, r, size, noob.TwoPC, sys.getOnly)
-				}
-				if err != nil {
-					return nil, err
-				}
-				series[i].Points = append(series[i].Points, Point{X: x, Value: lat})
+		for sysIdx, sys := range systems {
+			series[sysIdx].System = sys.name
+			for rIdx, r := range ReplicationLevels {
+				i := (sizeIdx*len(systems)+sysIdx)*nr + rIdx
+				series[sysIdx].Points = append(series[sysIdx].Points,
+					Point{X: fmt.Sprintf("%d", r), Value: lats[i]})
 			}
 		}
 		fig.Series = series

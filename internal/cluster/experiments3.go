@@ -156,29 +156,38 @@ func Fig12YCSB(pr Params, clients int) (*Figure, error) {
 		XLabel: "workload",
 		YLabel: "operations per second, aggregate",
 	}
-	nice := Series{System: "NICE"}
-	prim := Series{System: "NOOB primary-only"}
-	twopc := Series{System: "NOOB 2PC"}
-	for _, wl := range YCSBWorkloads {
-		tput, err := niceYCSB(pr, clients, wl)
-		if err != nil {
-			return nil, err
+	// Grid: 3 systems x workloads.
+	names := []string{"NICE", "NOOB primary-only", "NOOB 2PC"}
+	nwl := len(YCSBWorkloads)
+	tputs := make([]float64, len(names)*nwl)
+	err := RunCells(pr, len(tputs), func(i int, seed int64) error {
+		sysIdx, wlIdx := i/nwl, i%nwl
+		cpr := pr
+		cpr.Seed = seed
+		wl := YCSBWorkloads[wlIdx]
+		var tput float64
+		var err error
+		switch sysIdx {
+		case 0:
+			tput, err = niceYCSB(cpr, clients, wl)
+		case 1:
+			tput, err = noobYCSB(cpr, clients, wl, noob.PrimaryOnly)
+		default:
+			tput, err = noobYCSB(cpr, clients, wl, noob.TwoPC)
 		}
-		nice.Points = append(nice.Points, Point{X: wl, Value: tput})
-
-		tput, err = noobYCSB(pr, clients, wl, noob.PrimaryOnly)
-		if err != nil {
-			return nil, err
-		}
-		prim.Points = append(prim.Points, Point{X: wl, Value: tput})
-
-		tput, err = noobYCSB(pr, clients, wl, noob.TwoPC)
-		if err != nil {
-			return nil, err
-		}
-		twopc.Points = append(twopc.Points, Point{X: wl, Value: tput})
+		tputs[i] = tput
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []Series{nice, prim, twopc}
+	for sysIdx, name := range names {
+		s := Series{System: name}
+		for wlIdx, wl := range YCSBWorkloads {
+			s.Points = append(s.Points, Point{X: wl, Value: tputs[sysIdx*nwl+wlIdx]})
+		}
+		fig.Series = append(fig.Series, s)
+	}
 	return fig, nil
 }
 

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRunCellsSchedulingInvariants exercises the worker pool itself (and,
+// under -race, its memory discipline): every cell runs exactly once, gets
+// the same derived seed either way, and results land in grid order.
+func TestRunCellsSchedulingInvariants(t *testing.T) {
+	const n = 64
+	for _, seq := range []bool{false, true} {
+		pr := Params{Seed: 7, Seq: seq}
+		ran := make([]int, n)
+		seeds := make([]int64, n)
+		err := RunCells(pr, n, func(i int, seed int64) error {
+			ran[i]++
+			seeds[i] = seed
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("seq=%v: %v", seq, err)
+		}
+		uniq := make(map[int64]bool)
+		for i := 0; i < n; i++ {
+			if ran[i] != 1 {
+				t.Fatalf("seq=%v: cell %d ran %d times", seq, i, ran[i])
+			}
+			if seeds[i] != DeriveSeed(pr.Seed, i) {
+				t.Fatalf("seq=%v: cell %d seed %d, want %d", seq, i, seeds[i], DeriveSeed(pr.Seed, i))
+			}
+			uniq[seeds[i]] = true
+		}
+		if len(uniq) != n {
+			t.Fatalf("seq=%v: %d distinct seeds for %d cells", seq, len(uniq), n)
+		}
+	}
+}
+
+func TestRunCellsErrorOrder(t *testing.T) {
+	// The first error in CELL order must win, regardless of which worker
+	// finishes first.
+	pr := Params{Seed: 1}
+	err := RunCells(pr, 16, func(i int, seed int64) error {
+		if i >= 3 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 3 failed" {
+		t.Fatalf("err = %v, want cell 3 failed", err)
+	}
+}
+
+func TestRunCellsPanicBecomesError(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		pr := Params{Seed: 1, Seq: seq}
+		err := RunCells(pr, 4, func(i int, seed int64) error {
+			if i == 2 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("seq=%v: panic not converted to error", seq)
+		}
+	}
+}
+
+// TestParallelFiguresMatchSequential is the tentpole determinism
+// guarantee: the parallel sweeps produce bit-identical figures to the
+// sequential path, for Figs. 4 and 5 (with 6 and 7 riding along) at two
+// seeds. Cells own private simulators and derive their seeds from the
+// grid index, so scheduling must not influence any value.
+func TestParallelFiguresMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed figure sweep")
+	}
+	for _, seed := range []int64{7, 1234} {
+		par := Params{Ops: 10, Seed: seed}
+		seqp := Params{Ops: 10, Seed: seed, Seq: true}
+
+		fig4p, err := Fig4RequestRouting(par)
+		if err != nil {
+			t.Fatalf("seed %d: parallel fig4: %v", seed, err)
+		}
+		fig4s, err := Fig4RequestRouting(seqp)
+		if err != nil {
+			t.Fatalf("seed %d: sequential fig4: %v", seed, err)
+		}
+		if !reflect.DeepEqual(fig4p, fig4s) {
+			t.Errorf("seed %d: fig4 parallel != sequential\npar: %+v\nseq: %+v", seed, fig4p, fig4s)
+		}
+
+		f5p, f6p, f7p, err := ReplicationFigures(par)
+		if err != nil {
+			t.Fatalf("seed %d: parallel replication figures: %v", seed, err)
+		}
+		f5s, f6s, f7s, err := ReplicationFigures(seqp)
+		if err != nil {
+			t.Fatalf("seed %d: sequential replication figures: %v", seed, err)
+		}
+		for _, pair := range []struct {
+			name     string
+			par, seq *Figure
+		}{{"fig5", f5p, f5s}, {"fig6", f6p, f6s}, {"fig7", f7p, f7s}} {
+			if !reflect.DeepEqual(pair.par, pair.seq) {
+				t.Errorf("seed %d: %s parallel != sequential", seed, pair.name)
+			}
+		}
+	}
+}

@@ -96,6 +96,7 @@ func (h *Host) InMulticast(group IP) bool { return h.mcast[group] }
 // and transmits.
 func (h *Host) Send(pkt *Packet) {
 	if h.down {
+		h.net.RecyclePacket(pkt) // senders hand off ownership unconditionally
 		return
 	}
 	pkt.SrcIP = h.ip
@@ -121,20 +122,26 @@ func (h *Host) Send(pkt *Packet) {
 // Recv implements Device: NIC filtering, ARP handling, then the
 // registered handler.
 func (h *Host) Recv(pkt *Packet, on *Port) {
+	// Each delivered packet pointer is unique to this host (switches clone
+	// per output port), so drop paths below the handler may recycle it.
 	if h.down {
+		h.net.RecyclePacket(pkt)
 		return
 	}
 	// NIC filter: our MAC, broadcast, or a subscribed multicast group.
 	if pkt.DstMAC != h.mac && pkt.DstMAC != BroadcastMAC && !h.mcast[pkt.DstIP] {
 		h.net.drops++
+		h.net.RecyclePacket(pkt)
 		return
 	}
 	if pkt.Proto == ProtoARP {
 		h.recvARP(pkt)
+		h.net.RecyclePacket(pkt)
 		return
 	}
 	if pkt.DstIP != h.ip && !h.mcast[pkt.DstIP] {
 		h.net.drops++
+		h.net.RecyclePacket(pkt)
 		return
 	}
 	h.stats.BytesRecv += int64(pkt.Size)
@@ -155,17 +162,16 @@ func (h *Host) recvARP(pkt *Packet) {
 		if arp.TargetIP != h.ip {
 			return
 		}
-		reply := &Packet{
-			DstIP:  arp.SenderIP,
-			DstMAC: pkt.SrcMAC,
-			Proto:  ProtoARP,
-			Size:   ARPPacketSize,
-			Payload: &ARPPayload{
-				Op:       ARPReply,
-				TargetIP: h.ip,
-				SenderIP: h.ip,
-				Sender:   h.mac,
-			},
+		reply := h.net.NewPacket()
+		reply.DstIP = arp.SenderIP
+		reply.DstMAC = pkt.SrcMAC
+		reply.Proto = ProtoARP
+		reply.Size = ARPPacketSize
+		reply.Payload = &ARPPayload{
+			Op:       ARPReply,
+			TargetIP: h.ip,
+			SenderIP: h.ip,
+			Sender:   h.mac,
 		}
 		h.Send(reply)
 	case ARPReply:

@@ -69,13 +69,15 @@ func (d *linkDir) send(pkt *Packet) {
 	d.stats.Packets++
 	if d.cfg.LossRate > 0 && s.Rand().Float64() < d.cfg.LossRate {
 		d.net.drops++
+		d.net.RecyclePacket(pkt) // lost on the wire: nobody else holds it
 		return
 	}
-	dst := d.dst
-	s.At(done+d.cfg.Delay, func() {
-		dst.deliver(pkt)
-	})
+	s.At2(done+d.cfg.Delay, deliverEvent, d.dst, pkt)
 }
+
+// deliverEvent is the static At2 callback for link delivery: no closure is
+// allocated per packet in flight.
+func deliverEvent(a1, a2 any) { a1.(*Port).deliver(a2.(*Packet)) }
 
 // Link is a full-duplex cable between two ports.
 type Link struct {
@@ -126,7 +128,9 @@ func (p *Port) Peer() *Port { return p.peer }
 // drops the packet (counted on the network).
 func (p *Port) Send(pkt *Packet) {
 	if p.out == nil {
-		p.Dev.Network().drops++
+		n := p.Dev.Network()
+		n.drops++
+		n.RecyclePacket(pkt)
 		return
 	}
 	p.out.send(pkt)

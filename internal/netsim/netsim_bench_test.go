@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkHostToHost measures one pooled packet's full life cycle on a
+// direct cable: NewPacket, serialization, delivery, drop at the receiver's
+// NIC filter (no handler installed beyond the recycle-free default), and
+// recycling. Steady state should not allocate packets.
+func BenchmarkHostToHost(b *testing.B) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	a := n.NewHost("a", MustParseIP("10.0.0.1"))
+	c := n.NewHost("c", MustParseIP("10.0.0.2"))
+	n.Connect(a.Port(), c.Port(), Gbps(10, time.Microsecond))
+	recv := 0
+	c.SetHandler(func(pkt *Packet) {
+		recv++
+		n.RecyclePacket(pkt) // take the transport stack's role
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := n.NewPacket()
+		pkt.DstIP = c.IP()
+		pkt.DstMAC = c.MAC()
+		pkt.Proto = ProtoUDP
+		pkt.Size = 1400
+		a.Send(pkt)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if recv != b.N {
+		b.Fatalf("delivered %d of %d packets", recv, b.N)
+	}
+}
+
+// BenchmarkSwitchForward measures the store-and-forward path through one
+// switch with a trivial pipeline — the per-hop cost every simulated packet
+// pays in the cluster experiments.
+func BenchmarkSwitchForward(b *testing.B) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	a := n.NewHost("a", MustParseIP("10.0.0.1"))
+	c := n.NewHost("c", MustParseIP("10.0.0.2"))
+	sw := n.NewSwitch("sw", 2, time.Microsecond)
+	n.Connect(a.Port(), sw.Port(0), Gbps(10, time.Microsecond))
+	n.Connect(c.Port(), sw.Port(1), Gbps(10, time.Microsecond))
+	sw.SetPipeline(PipelineFunc(func(sw *Switch, pkt *Packet, inPort int) {
+		sw.Output(1-inPort, pkt)
+	}))
+	recv := 0
+	c.SetHandler(func(pkt *Packet) {
+		recv++
+		n.RecyclePacket(pkt)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := n.NewPacket()
+		pkt.DstIP = c.IP()
+		pkt.DstMAC = c.MAC()
+		pkt.Proto = ProtoUDP
+		pkt.Size = 1400
+		a.Send(pkt)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if recv != b.N {
+		b.Fatalf("delivered %d of %d packets", recv, b.N)
+	}
+}
+
+// BenchmarkFloodFanout measures multicast-style cloning: one packet in,
+// seven pooled clones out, all dropped at non-subscribed NICs (and thus
+// recycled).
+func BenchmarkFloodFanout(b *testing.B) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	const fan = 8
+	sw := n.NewSwitch("sw", fan, time.Microsecond)
+	src := n.NewHost("src", IPv4(10, 0, 0, 100))
+	n.Connect(src.Port(), sw.Port(0), Gbps(10, time.Microsecond))
+	for i := 1; i < fan; i++ {
+		h := n.NewHost("h", IPv4(10, 0, 0, byte(i)))
+		n.Connect(h.Port(), sw.Port(i), Gbps(10, time.Microsecond))
+	}
+	sw.SetPipeline(PipelineFunc(func(sw *Switch, pkt *Packet, inPort int) {
+		sw.Flood(pkt, inPort)
+		n.RecyclePacket(pkt) // Flood sends clones; the original is ours
+	}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := n.NewPacket()
+		pkt.DstIP = IPv4(10, 0, 0, 200) // nobody's address: NIC filters recycle
+		pkt.Proto = ProtoUDP
+		pkt.Size = 1400
+		src.Send(pkt)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,6 +16,62 @@ type Network struct {
 	drops    int64
 	taps     map[int]Tap
 	tapSeq   int
+	pktFree  []*Packet // recycled packet structs; see NewPacket
+}
+
+// maxFreePackets bounds the packet free list. A multicast fan-out burst
+// can momentarily clone hundreds of packets; anything beyond the cap is
+// left to the garbage collector.
+const maxFreePackets = 1024
+
+// NewPacket returns a zeroed packet from the network's free list (or a
+// fresh allocation), stamped with a unique ID. Packets are single-threaded
+// within the owning simulator, so the free list needs no locking.
+//
+// Ownership discipline: a packet handed to Host.Send belongs to the
+// fabric. The fabric recycles it at terminal drop points; receivers that
+// provably copy everything they need out of the packet (the transport
+// stack) recycle it after dispatch. Code that retains a packet beyond the
+// current event (the OpenFlow punt path, taps that keep pointers) must
+// Clone first or simply never recycle.
+func (n *Network) NewPacket() *Packet {
+	n.pktID++
+	if ln := len(n.pktFree); ln > 0 {
+		pkt := n.pktFree[ln-1]
+		n.pktFree[ln-1] = nil
+		n.pktFree = n.pktFree[:ln-1]
+		*pkt = Packet{ID: n.pktID}
+		return pkt
+	}
+	return &Packet{ID: n.pktID}
+}
+
+// ClonePacket returns a copy of pkt (payload shared, same ID) drawn from
+// the free list. Used for multicast fan-out, flooding, and OpenFlow
+// rewrite actions.
+func (n *Network) ClonePacket(pkt *Packet) *Packet {
+	if ln := len(n.pktFree); ln > 0 {
+		c := n.pktFree[ln-1]
+		n.pktFree[ln-1] = nil
+		n.pktFree = n.pktFree[:ln-1]
+		*c = *pkt
+		return c
+	}
+	c := *pkt
+	return &c
+}
+
+// RecyclePacket returns pkt to the free list. Callers must be the sole
+// owner: the packet must not be queued on any link, referenced by a tap
+// that retains pointers, or held by the controller.
+func (n *Network) RecyclePacket(pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	pkt.Payload = nil // drop the payload reference so the GC can reclaim it
+	if len(n.pktFree) < maxFreePackets {
+		n.pktFree = append(n.pktFree, pkt)
+	}
 }
 
 // NewNetwork creates an empty fabric driven by s.

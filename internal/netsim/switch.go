@@ -93,17 +93,25 @@ func (sw *Switch) Recv(pkt *Packet, on *Port) {
 	sw.stats.BytesIn += int64(pkt.Size)
 	if pkt.TTL <= 0 {
 		sw.stats.Dropped++
+		sw.net.RecyclePacket(pkt)
 		return
 	}
 	pkt.TTL--
 	if sw.pipe == nil {
 		sw.stats.Dropped++
+		sw.net.RecyclePacket(pkt)
 		return
 	}
-	inPort := on.Index
-	sw.net.sim.After(sw.latency, func() {
-		sw.pipe.Process(sw, pkt, inPort)
-	})
+	s := sw.net.sim
+	s.At2(s.Now()+sw.latency, processEvent, on, pkt)
+}
+
+// processEvent is the static At2 callback running the forwarding pipeline
+// after the pipeline latency; the ingress port carries the needed context.
+func processEvent(a1, a2 any) {
+	on := a1.(*Port)
+	sw := on.Dev.(*Switch)
+	sw.pipe.Process(sw, a2.(*Packet), on.Index)
 }
 
 // Output transmits pkt on port i. Multicast pipelines call this once per
@@ -125,7 +133,7 @@ func (sw *Switch) Flood(pkt *Packet, inPort int) {
 		if i == inPort || !p.Connected() {
 			continue
 		}
-		sw.Output(i, pkt.Clone())
+		sw.Output(i, sw.net.ClonePacket(pkt))
 	}
 }
 

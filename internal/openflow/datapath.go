@@ -96,26 +96,43 @@ func (dp *Datapath) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
 	dp.apply(entry.Actions, pkt, inPort)
 }
 
-// apply executes an action list on (a mutable view of) pkt.
+// apply executes an action list on (a mutable view of) pkt. Set-field
+// actions clone once and then mutate that clone in place; the clone loses
+// mutability again when the punt path retains it (the controller buffers
+// punted packets, so a later set-field must not write through them).
 func (dp *Datapath) apply(actions []Action, pkt *netsim.Packet, inPort int) {
+	net := dp.sw.Network()
 	cur := pkt
+	mutable := false // cur aliases the caller's packet until first write
 	emitted := false
 	for _, a := range actions {
 		switch a := a.(type) {
 		case SetDstIP:
-			cur = cur.Clone()
+			if !mutable {
+				cur = net.ClonePacket(cur)
+				mutable = true
+			}
 			cur.DstIP = a.IP
 		case SetSrcIP:
-			cur = cur.Clone()
+			if !mutable {
+				cur = net.ClonePacket(cur)
+				mutable = true
+			}
 			cur.SrcIP = a.IP
 		case SetDstMAC:
-			cur = cur.Clone()
+			if !mutable {
+				cur = net.ClonePacket(cur)
+				mutable = true
+			}
 			cur.DstMAC = a.MAC
 		case SetSrcMAC:
-			cur = cur.Clone()
+			if !mutable {
+				cur = net.ClonePacket(cur)
+				mutable = true
+			}
 			cur.SrcMAC = a.MAC
 		case Output:
-			dp.sw.Output(a.Port, cur.Clone())
+			dp.sw.Output(a.Port, net.ClonePacket(cur))
 			emitted = true
 		case OutputGroup:
 			dp.applyGroup(a.Group, cur, inPort)
@@ -125,6 +142,7 @@ func (dp *Datapath) apply(actions []Action, pkt *netsim.Packet, inPort int) {
 			emitted = true
 		case ToController:
 			dp.punt(cur, inPort)
+			mutable = false // the controller now holds a reference
 			emitted = true
 		case Drop:
 			dp.sw.Drop(cur)
@@ -145,7 +163,7 @@ func (dp *Datapath) applyGroup(id GroupID, pkt *netsim.Packet, inPort int) {
 		return
 	}
 	for _, b := range g.Buckets {
-		dp.apply(b.Actions, pkt.Clone(), inPort)
+		dp.apply(b.Actions, dp.sw.Network().ClonePacket(pkt), inPort)
 	}
 }
 

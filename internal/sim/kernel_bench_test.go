@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventChurn measures the cost of scheduling and firing one event:
+// the At → heap → pop → callback → free-list round trip. With the event
+// pool this settles to zero steady-state allocations.
+func BenchmarkEventChurn(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventChurnDeep keeps a deep heap (1k pending events) while
+// churning, so pop cost includes realistic sift-down work.
+func BenchmarkEventChurnDeep(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 1024; i++ {
+		s.After(time.Hour, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		if err := s.RunUntil(s.Now() + time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSleepWake measures one Sleep round trip of a process: timer
+// event, two channel handoffs, park-list insert/remove. The pre-bound
+// unpark callback removes the closure allocation this path used to pay.
+func BenchmarkSleepWake(b *testing.B) {
+	s := New(1)
+	done := false
+	s.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+		done = true
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if !done {
+		b.Fatal("sleeper did not finish")
+	}
+}
+
+// BenchmarkQueueHandoff measures a producer/consumer pair exchanging one
+// item per iteration through a Queue — the shape of every socket recv in
+// the network stack.
+func BenchmarkQueueHandoff(b *testing.B) {
+	s := New(1)
+	q := NewQueue[int](s)
+	s.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := q.Pop(p); !ok {
+				b.Error("queue closed early")
+				return
+			}
+		}
+	})
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			p.Sleep(0)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCancelledTimers measures schedule+cancel churn — the pattern of
+// every PopTimeout/WaitTimeout deadline that does not fire.
+func BenchmarkCancelledTimers(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := s.After(time.Microsecond, func() { b.Error("cancelled timer fired") })
+		ev.Cancel()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

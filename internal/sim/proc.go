@@ -9,10 +9,16 @@ package sim
 // Queue.Pop, Future.Wait, Cond.Wait, ...). Blocking on ordinary Go channels
 // from inside a process would stall the whole simulation.
 type Proc struct {
-	sim    *Simulator
-	name   string
-	resume chan struct{}
-	kill   bool // set by Shutdown: unpark with a request to die
+	sim      *Simulator
+	name     string
+	resume   chan struct{}
+	unparkFn func() // pre-bound p.unpark, shared by every Sleep/wake
+	kill     bool   // set by Shutdown: unpark with a request to die
+
+	// Intrusive membership in the simulator's parked list.
+	parkNext *Proc
+	parkPrev *Proc
+	isParked bool
 }
 
 // killed is the panic value used to unwind a process during Shutdown.
@@ -23,6 +29,7 @@ type killed struct{}
 // name is used in failure reports only.
 func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	p.unparkFn = p.unpark
 	s.nprocs++
 	go func() {
 		<-p.resume // wait for the scheduler to hand us control
@@ -40,7 +47,7 @@ func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	s.After(0, func() { p.unpark() })
+	s.After(0, p.unparkFn)
 	return p
 }
 
@@ -56,7 +63,7 @@ func (p *Proc) Now() Time { return p.sim.Now() }
 // park suspends the process and returns control to the scheduler. It
 // returns when some event calls unpark.
 func (p *Proc) park() {
-	p.sim.parked[p] = struct{}{}
+	p.sim.addParked(p)
 	p.sim.yield <- struct{}{}
 	<-p.resume
 	if p.kill {
@@ -67,7 +74,7 @@ func (p *Proc) park() {
 // unpark resumes a parked process and blocks the scheduler until the
 // process parks again or finishes. Must be called from event context.
 func (p *Proc) unpark() {
-	delete(p.sim.parked, p)
+	p.sim.removeParked(p)
 	p.resume <- struct{}{}
 	<-p.sim.yield
 }
@@ -78,7 +85,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.sim.After(d, func() { p.unpark() })
+	p.sim.After(d, p.unparkFn)
 	p.park()
 }
 
@@ -96,6 +103,6 @@ func (w *waiter) wake() bool {
 		return false
 	}
 	w.fired = true
-	w.p.sim.After(0, func() { w.p.unpark() })
+	w.p.sim.After(0, w.p.unparkFn)
 	return true
 }

@@ -9,7 +9,10 @@
 //
 // The kernel is the substrate for the packet-level network simulator in
 // package netsim and, transitively, for every experiment in this
-// repository.
+// repository. Experiments schedule millions of events per figure cell, so
+// the kernel recycles fired event structs on a free list instead of
+// allocating one per callback; Event handles carry a generation number so
+// a stale Cancel on a recycled event is a no-op.
 package sim
 
 import (
@@ -23,13 +26,20 @@ import (
 // the simulation.
 type Time = time.Duration
 
-// event is a scheduled callback.
+// event is a scheduled callback. Fired and cancelled events return to the
+// simulator's free list; gen distinguishes incarnations so that a stale
+// Event handle cannot cancel an unrelated reuse.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+	// fn2/arg1/arg2 are the closure-free form used by At2: the callback is
+	// a static function and its context rides in the event struct.
+	fn2        func(a1, a2 any)
+	arg1, arg2 any
+	gen        uint32 // incremented each time the struct is recycled
+	dead       bool   // cancelled
+	idx        int    // heap index, -1 when popped
 }
 
 // eventHeap is a min-heap ordered by (at, seq).
@@ -62,6 +72,10 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// maxFreeEvents bounds the event free list so a burst (a figure cell's
+// warm-up) does not pin memory for the rest of the run.
+const maxFreeEvents = 4096
+
 // Simulator owns the virtual clock, the event queue, and the set of live
 // processes. The zero value is not usable; create one with New.
 type Simulator struct {
@@ -70,7 +84,8 @@ type Simulator struct {
 	seq     uint64
 	rng     *rand.Rand
 	yield   chan struct{} // a parked/finished proc hands control back here
-	parked  map[*Proc]struct{}
+	parked  *Proc         // intrusive doubly-linked list of parked procs
+	free    []*event      // recycled event structs
 	nprocs  int
 	fail    error // first process failure, stops the run
 	limit   Time  // 0 = no limit
@@ -80,9 +95,8 @@ type Simulator struct {
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
 	return &Simulator{
-		rng:    rand.New(rand.NewSource(seed)),
-		yield:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		yield: make(chan struct{}),
 	}
 }
 
@@ -93,30 +107,94 @@ func (s *Simulator) Now() Time { return s.now }
 // be used from event callbacks and processes (never concurrently).
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
+// newEvent takes an event struct off the free list (or allocates one) and
+// initializes it for scheduling.
+func (s *Simulator) newEvent(t Time, fn func()) *event {
+	s.seq++
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at = t
+		e.seq = s.seq
+		e.fn = fn
+		e.dead = false
+		return e
+	}
+	return &event{at: t, seq: s.seq, fn: fn}
+}
+
+// freeEvent recycles a fired or dead event. Bumping gen invalidates any
+// outstanding Event handles; dropping fn/args releases captured references.
+func (s *Simulator) freeEvent(e *event) {
+	e.fn = nil
+	e.fn2 = nil
+	e.arg1, e.arg2 = nil, nil
+	e.gen++
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
+	}
+}
+
+// fire advances the clock to e, recycles it, and runs its callback. The
+// callback and arguments are copied out first: recycling before the call
+// is safe (gen already advanced) and lets the callback schedule freely.
+func (s *Simulator) fire(e *event) {
+	s.now = e.at
+	fn, fn2, a1, a2 := e.fn, e.fn2, e.arg1, e.arg2
+	s.freeEvent(e)
+	if fn2 != nil {
+		fn2(a1, a2)
+		return
+	}
+	fn()
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would violate causality. The returned Event can be cancelled.
-func (s *Simulator) At(t Time, fn func()) *Event {
+// It is returned by value so the hot path stays allocation-free.
+func (s *Simulator) At(t Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	s.seq++
-	e := &event{at: t, seq: s.seq, fn: fn}
+	e := s.newEvent(t, fn)
 	heap.Push(&s.heap, e)
-	return &Event{e: e}
+	return Event{e: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	return s.At(s.now+d, fn)
 }
 
-// Event is a handle on a scheduled callback.
-type Event struct{ e *event }
+// At2 schedules fn(a1, a2) at absolute time t. Unlike At, the callback is
+// a static function whose context rides in the event struct, so per-packet
+// scheduling (link delivery, switch pipelines) allocates nothing. Pointer
+// arguments convert to `any` without allocating.
+func (s *Simulator) At2(t Time, fn func(a1, a2 any), a1, a2 any) Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := s.newEvent(t, nil)
+	e.fn2 = fn
+	e.arg1, e.arg2 = a1, a2
+	heap.Push(&s.heap, e)
+	return Event{e: e, gen: e.gen}
+}
+
+// Event is a handle on a scheduled callback. The generation captured at
+// scheduling time makes Cancel safe to call after the event has fired and
+// its struct has been recycled. The zero Event cancels as a no-op, so a
+// struct field holding one needs no separate "armed" flag.
+type Event struct {
+	e   *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event (or the zero Event) is a no-op.
 func (ev *Event) Cancel() {
-	if ev != nil && ev.e != nil {
+	if ev.e != nil && ev.gen == ev.e.gen {
 		ev.e.dead = true
 	}
 }
@@ -135,38 +213,43 @@ func (f procFailure) Error() string {
 // with SetLimit) is reached, or a process panics. It returns the first
 // process failure, or nil.
 //
+// Hitting the limit leaves the offending event in the queue, so a later
+// Run or RunUntil (after raising the limit) still sees it.
+//
 // Processes that are still blocked when Run returns remain parked; call
 // Shutdown to reap their goroutines.
 func (s *Simulator) Run() error {
 	s.stopped = false
 	for len(s.heap) > 0 && s.fail == nil && !s.stopped {
-		e := heap.Pop(&s.heap).(*event)
-		if e.dead {
-			continue
-		}
-		if s.limit > 0 && e.at > s.limit {
+		if s.limit > 0 && s.heap[0].at > s.limit {
 			s.now = s.limit
 			return s.fail
 		}
-		s.now = e.at
-		e.fn()
+		e := heap.Pop(&s.heap).(*event)
+		if e.dead {
+			s.freeEvent(e)
+			continue
+		}
+		s.fire(e)
 	}
 	return s.fail
 }
 
 // RunUntil executes events with timestamps <= t, then sets the clock to t.
-// It returns the first process failure, or nil.
+// It returns the first process failure, or nil. Like Run, it honors Stop:
+// a Stop call from inside an event ends the pass after that event.
 func (s *Simulator) RunUntil(t Time) error {
-	for len(s.heap) > 0 && s.fail == nil {
+	s.stopped = false
+	for len(s.heap) > 0 && s.fail == nil && !s.stopped {
 		if s.heap[0].at > t {
 			break
 		}
 		e := heap.Pop(&s.heap).(*event)
 		if e.dead {
+			s.freeEvent(e)
 			continue
 		}
-		s.now = e.at
-		e.fn()
+		s.fire(e)
 	}
 	if s.fail == nil && t > s.now {
 		s.now = t
@@ -190,16 +273,40 @@ func (s *Simulator) Pending() int { return len(s.heap) }
 // not yet finished.
 func (s *Simulator) LiveProcs() int { return s.nprocs }
 
+// addParked links p into the parked list.
+func (s *Simulator) addParked(p *Proc) {
+	p.parkNext = s.parked
+	p.parkPrev = nil
+	if s.parked != nil {
+		s.parked.parkPrev = p
+	}
+	s.parked = p
+	p.isParked = true
+}
+
+// removeParked unlinks p from the parked list if present.
+func (s *Simulator) removeParked(p *Proc) {
+	if !p.isParked {
+		return
+	}
+	if p.parkPrev != nil {
+		p.parkPrev.parkNext = p.parkNext
+	} else {
+		s.parked = p.parkNext
+	}
+	if p.parkNext != nil {
+		p.parkNext.parkPrev = p.parkPrev
+	}
+	p.parkNext, p.parkPrev = nil, nil
+	p.isParked = false
+}
+
 // Shutdown terminates every parked process so their goroutines exit. It is
 // safe to call after Run returns; the simulator must not be used afterward.
 func (s *Simulator) Shutdown() {
-	for len(s.parked) > 0 {
-		var p *Proc
-		for q := range s.parked {
-			p = q
-			break
-		}
-		delete(s.parked, p)
+	for s.parked != nil {
+		p := s.parked
+		s.removeParked(p)
 		p.kill = true
 		p.resume <- struct{}{}
 		<-s.yield

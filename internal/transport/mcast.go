@@ -97,7 +97,7 @@ type rxState struct {
 	maxIdx   int // highest chunk index seen: NACKs never reach past it
 	fires    int // total gap-timer firings; bounds abandoned transfers
 	done     bool
-	gapTimer *sim.Event
+	gapTimer sim.Event
 	nacks    int
 	data     any // stashed from the data-bearing last chunk
 	size     int
@@ -197,9 +197,7 @@ func (r *MulticastReceiver) recvChunk(pkt *netsim.Packet, m *chunkMsg) {
 	}
 	if st.count == st.total {
 		st.done = true
-		if st.gapTimer != nil {
-			st.gapTimer.Cancel()
-		}
+		st.gapTimer.Cancel()
 		r.send(m.ackIP, m.ackPort, &mctrlMsg{kind: mctrlDone, xfer: m.xfer, upTo: st.total})
 		r.rq.Push(&Transfer{
 			From:     m.ackIP,
@@ -218,9 +216,7 @@ func (r *MulticastReceiver) recvChunk(pkt *netsim.Packet, m *chunkMsg) {
 		}
 	}
 	// (Re)arm the gap timer: if the transfer stalls, NACK what is missing.
-	if st.gapTimer != nil {
-		st.gapTimer.Cancel()
-	}
+	st.gapTimer.Cancel()
 	st.gapTimer = r.stack.s.After(gapTimeout, func() { r.gapFired(key, m) })
 }
 

@@ -96,7 +96,10 @@ func (st *Stack) ephemeralPort() uint16 {
 	}
 }
 
-// recv dispatches an incoming packet to the owning socket.
+// recv dispatches an incoming packet to the owning socket. Every dispatch
+// target copies what it needs out of the packet synchronously (payload
+// references move into Datagram/Message/rxState), so the packet itself is
+// recycled here — the hot-path counterpart of the pooled send paths.
 func (st *Stack) recv(pkt *netsim.Packet) {
 	switch pkt.Proto {
 	case netsim.ProtoUDP:
@@ -113,6 +116,7 @@ func (st *Stack) recv(pkt *netsim.Packet) {
 	case netsim.ProtoTCP:
 		st.recvTCP(pkt)
 	}
+	st.host.Network().RecyclePacket(pkt)
 }
 
 // Datagram is a received UDP message.
@@ -166,14 +170,14 @@ func (u *UDPSocket) SendTo(to netsim.IP, toPort uint16, data any, size int) {
 	if size > MTU {
 		panic(fmt.Sprintf("transport: %d-byte datagram exceeds MTU", size))
 	}
-	u.stack.host.Send(&netsim.Packet{
-		DstIP:   to,
-		Proto:   netsim.ProtoUDP,
-		SrcPort: u.port,
-		DstPort: toPort,
-		Size:    size + netsim.UDPHeaderSize,
-		Payload: data,
-	})
+	pkt := u.stack.host.Network().NewPacket()
+	pkt.DstIP = to
+	pkt.Proto = netsim.ProtoUDP
+	pkt.SrcPort = u.port
+	pkt.DstPort = toPort
+	pkt.Size = size + netsim.UDPHeaderSize
+	pkt.Payload = data
+	u.stack.host.Send(pkt)
 }
 
 // Recv blocks until a datagram arrives.

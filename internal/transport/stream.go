@@ -148,14 +148,14 @@ func (c *Conn) PeerPort() uint16 { return c.peerPort }
 
 // sendSeg transmits one segment of the stream.
 func (c *Conn) sendSeg(m *segMsg, size int) {
-	c.stack.host.Send(&netsim.Packet{
-		DstIP:   c.peer,
-		Proto:   netsim.ProtoTCP,
-		SrcPort: c.localPort,
-		DstPort: c.peerPort,
-		Size:    size,
-		Payload: m,
-	})
+	pkt := c.stack.host.Network().NewPacket()
+	pkt.DstIP = c.peer
+	pkt.Proto = netsim.ProtoTCP
+	pkt.SrcPort = c.localPort
+	pkt.DstPort = c.peerPort
+	pkt.Size = size
+	pkt.Payload = m
+	c.stack.host.Send(pkt)
 }
 
 // Send transmits one application message of `size` payload bytes and
