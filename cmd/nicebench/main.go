@@ -93,7 +93,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -260,6 +260,17 @@ func main() {
 		}
 		show(fig)
 	}
+	if want("cachesweep") {
+		shown := false
+		timeIt("cachesweep", func(p cluster.Params) error {
+			figs, err := cluster.CacheSweep(p)
+			if err == nil && !shown {
+				shown = true
+				show(figs...)
+			}
+			return err
+		})
+	}
 	if want("fabric") {
 		fig, err := cluster.FabricComparison(pr)
 		if err != nil {
@@ -294,7 +305,7 @@ func main() {
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	nicekv -nodes 15 -r 3 -ops 1000 -size 1024 -putratio 0.2 -lb
+//	nicekv -cache        # serve hot keys from the switch (in-switch cache)
 //	nicekv -fail 2       # crash node 2 mid-run and watch recovery
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		size     = flag.Int("size", 1024, "object size in bytes")
 		putRatio = flag.Float64("putratio", 0.2, "fraction of operations that are puts")
 		lb       = flag.Bool("lb", false, "enable in-network get load balancing")
+		cache    = flag.Bool("cache", false, "enable the in-switch hot-key cache")
 		failNode = flag.Int("fail", -1, "crash this node mid-run (and restart it later)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Int("trace", 0, "print the first N packet events (0 = off)")
@@ -42,6 +44,7 @@ func main() {
 	opts.R = *r
 	opts.Clients = *clients
 	opts.LoadBalance = *lb
+	opts.Cache = *cache
 	opts.Seed = *seed
 	d := cluster.NewNICE(opts)
 	if err := d.Settle(); err != nil {
@@ -108,23 +111,20 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\ncluster: %d nodes, R=%d, %d clients, lb=%v\n", *nodes, *r, *clients, *lb)
+	fmt.Printf("\ncluster: %d nodes, R=%d, %d clients, lb=%v, cache=%v\n", *nodes, *r, *clients, *lb, *cache)
 	fmt.Printf("simulated time: %v\n", d.Sim.Now())
 	pr := func(name string, h *metrics.Histogram, fails int) {
 		if h.N() == 0 {
 			fmt.Printf("%-5s none\n", name)
 			return
 		}
-		fmt.Printf("%-5s n=%-6d mean=%-10v p50=%-10v p95=%-10v max=%-10v failed=%d\n",
-			name, h.N(),
-			sim.Time(h.Mean()*float64(time.Second)).Round(time.Microsecond),
-			sim.Time(h.Percentile(50)*float64(time.Second)).Round(time.Microsecond),
-			sim.Time(h.Percentile(95)*float64(time.Second)).Round(time.Microsecond),
-			sim.Time(h.Max()*float64(time.Second)).Round(time.Microsecond),
-			fails)
+		fmt.Printf("%-5s %s failed=%d\n", name, h.Summary(), fails)
 	}
 	pr("put", &putLat, putFail)
 	pr("get", &getLat, getFail)
+	if d.Cache != nil {
+		fmt.Printf("cache: %s\n", d.Cache.Stats())
+	}
 	fmt.Printf("network: %s over all links, %d flow entries, %d groups\n",
 		metrics.FormatBytes(d.Net.TotalLinkBytes()), d.Core.Table().Len(), d.Core.Groups().Len())
 	d.Close()

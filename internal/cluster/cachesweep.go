@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The cachesweep experiment measures what the in-switch hot-key cache
+// buys over the paper's load balancing: LB spreads a skewed get stream
+// across the R replicas of a partition, so a single hot key is still
+// bounded by R servers, while the cache answers it in the fabric. The
+// sweep compares NICEKV, NICEKV+LB and NICEKV+cache along three axes —
+// workload skew (Zipf theta), cluster size, and key distribution — and
+// reports both aggregate get throughput and p99 get latency.
+
+// cacheSweepSystems is the experiment's system axis.
+var cacheSweepSystems = []string{"NICEKV", "NICEKV+LB", "NICEKV+cache"}
+
+// CacheSweepThetas is the skew axis (YCSB's default is 0.99).
+var CacheSweepThetas = []float64{0.5, 0.9, 0.99, 1.2}
+
+// CacheSweepNodes is the cluster-size axis, swept at theta = 0.99.
+var CacheSweepNodes = []int{4, 8, 16}
+
+// cacheSweepRecords keeps the keyspace small enough that the hot head is
+// hammered hard even at modest op counts.
+const cacheSweepRecords = 256
+
+// cacheCellResult is one (system, x) measurement.
+type cacheCellResult struct {
+	tput    float64 // measured gets per second, aggregate
+	p99     float64 // get p99, seconds
+	hitRate float64 // switch cache hit rate (0 for cacheless systems)
+}
+
+// cacheSweepOpts builds one system variant's deployment options.
+func cacheSweepOpts(system string, seed int64, nodes, clients int) Options {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = nodes
+	opts.Clients = clients
+	if opts.R > nodes {
+		opts.R = nodes
+	}
+	switch system {
+	case "NICEKV+LB":
+		opts.LoadBalance = true
+	case "NICEKV+cache":
+		opts.Cache = true
+		opts.CacheCapacity = 64
+		opts.CacheSampleEvery = 1
+		// Install quickly: the sweeps run far fewer ops than a production
+		// trace, so the detector must react within the measured window.
+		opts.CacheHotThreshold = 4
+		opts.CacheDecayEvery = 10 * time.Second
+	}
+	return opts
+}
+
+// cacheRun loads the keyspace, warms the detector, then drives a
+// read-mostly phase measuring get throughput and latency.
+func cacheRun(pr Params, seed int64, system string, nodes, clients int,
+	chooser workload.KeyChooser, putFrac float64) (cacheCellResult, error) {
+
+	opts := cacheSweepOpts(system, seed, nodes, clients)
+	d := NewNICE(opts)
+	defer d.Close()
+	if err := d.Settle(); err != nil {
+		return cacheCellResult{}, err
+	}
+
+	key := func(i int) string { return fmt.Sprintf("user%d", i) }
+	const valueSize = workload.DefaultValueSize
+
+	// Load phase: client 0 writes every record.
+	var loadErr error
+	d.Sim.Spawn("cache-load", func(p *sim.Proc) {
+		for i := 0; i < cacheSweepRecords; i++ {
+			if _, err := d.Clients[0].Put(p, key(i), "v", valueSize); err != nil {
+				loadErr = err
+				break
+			}
+		}
+		d.Sim.Stop()
+	})
+	if err := d.Sim.Run(); err != nil {
+		return cacheCellResult{}, err
+	}
+	if loadErr != nil {
+		return cacheCellResult{}, loadErr
+	}
+
+	// Warm phase: unmeasured gets let the sampled miss stream push hot
+	// keys over the detector threshold and the installs land.
+	warm := pr.Ops / 4
+	if warm < 32 {
+		warm = 32
+	}
+	var warmErr error
+	{
+		g := sim.NewGroup(d.Sim)
+		for c := range d.Clients {
+			c := c
+			rng := rand.New(rand.NewSource(seed + 1000*int64(c+1)))
+			g.Add(1)
+			d.Sim.Spawn(fmt.Sprintf("cache-warm%d", c), func(p *sim.Proc) {
+				defer g.Done()
+				for n := 0; n < warm; n++ {
+					if _, err := d.Clients[c].Get(p, key(chooser.Next(rng))); err != nil {
+						warmErr = err
+						return
+					}
+				}
+			})
+		}
+		d.Sim.Spawn("cache-warm-join", func(p *sim.Proc) { g.Wait(p); d.Sim.Stop() })
+		if err := d.Sim.Run(); err != nil {
+			return cacheCellResult{}, err
+		}
+		if warmErr != nil {
+			return cacheCellResult{}, warmErr
+		}
+	}
+
+	// Measured phase: read-mostly mixed traffic.
+	var hist metrics.Histogram
+	gets := 0
+	start := d.Sim.Now()
+	var opErr error
+	g := sim.NewGroup(d.Sim)
+	for c := range d.Clients {
+		c := c
+		rng := rand.New(rand.NewSource(seed + 2000*int64(c+1)))
+		g.Add(1)
+		d.Sim.Spawn(fmt.Sprintf("cache-client%d", c), func(p *sim.Proc) {
+			defer g.Done()
+			for n := 0; n < pr.Ops; n++ {
+				k := key(chooser.Next(rng))
+				if rng.Float64() < putFrac {
+					if _, err := d.Clients[c].Put(p, k, "v", valueSize); err != nil {
+						opErr = err
+						return
+					}
+					continue
+				}
+				res, err := d.Clients[c].Get(p, k)
+				if err != nil {
+					opErr = err
+					return
+				}
+				hist.Add(res.Latency)
+				gets++
+			}
+		})
+	}
+	d.Sim.Spawn("cache-join", func(p *sim.Proc) { g.Wait(p); d.Sim.Stop() })
+	if err := d.Sim.Run(); err != nil {
+		return cacheCellResult{}, err
+	}
+	if opErr != nil {
+		return cacheCellResult{}, opErr
+	}
+
+	elapsed := (d.Sim.Now() - start).Seconds()
+	out := cacheCellResult{p99: hist.Percentile(99)}
+	if elapsed > 0 {
+		out.tput = float64(gets) / elapsed
+	}
+	if d.Cache != nil {
+		out.hitRate = d.Cache.Stats().HitRate()
+	}
+	return out, nil
+}
+
+// cacheGrid runs one sweep axis as a (system, x) RunCells grid and
+// assembles throughput and p99 series in grid order.
+func cacheGrid(pr Params, xs []string,
+	cell func(seed int64, system string, xi int) (cacheCellResult, error)) (tput, p99 []Series, err error) {
+
+	results := make([]cacheCellResult, len(cacheSweepSystems)*len(xs))
+	err = RunCells(pr, len(results), func(i int, seed int64) error {
+		sys := cacheSweepSystems[i/len(xs)]
+		xi := i % len(xs)
+		r, cerr := cell(seed, sys, xi)
+		results[i] = r
+		return cerr
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for si, sys := range cacheSweepSystems {
+		st := Series{System: sys}
+		sp := Series{System: sys}
+		for xi, x := range xs {
+			r := results[si*len(xs)+xi]
+			st.Points = append(st.Points, Point{X: x, Value: r.tput})
+			sp.Points = append(sp.Points, Point{X: x, Value: r.p99 * 1e3}) // ms
+		}
+		tput = append(tput, st)
+		p99 = append(p99, sp)
+	}
+	return tput, p99, nil
+}
+
+// CacheSweep runs the full experiment. The sweeps are read-mostly
+// (5% puts) so the write-through invalidation is exercised while reads
+// dominate, as in the motivating serving workloads.
+func CacheSweep(pr Params) ([]*Figure, error) {
+	const (
+		sweepNodes   = 6
+		sweepClients = 3
+		putFrac      = 0.05
+		theta        = workload.ZipfTheta
+	)
+
+	// Axis 1: skew. Fixed cluster, rising Zipf theta.
+	thetaXs := make([]string, len(CacheSweepThetas))
+	for i, t := range CacheSweepThetas {
+		thetaXs[i] = fmt.Sprintf("%.2f", t)
+	}
+	thetaT, thetaP, err := cacheGrid(pr, thetaXs,
+		func(seed int64, system string, xi int) (cacheCellResult, error) {
+			ch := workload.NewZipfianTheta(cacheSweepRecords, CacheSweepThetas[xi])
+			return cacheRun(pr, seed, system, sweepNodes, sweepClients, ch, putFrac)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Axis 2: cluster size at YCSB skew.
+	nodeXs := make([]string, len(CacheSweepNodes))
+	for i, n := range CacheSweepNodes {
+		nodeXs[i] = fmt.Sprintf("%d", n)
+	}
+	nodesT, _, err := cacheGrid(pr, nodeXs,
+		func(seed int64, system string, xi int) (cacheCellResult, error) {
+			ch := workload.NewZipfianTheta(cacheSweepRecords, theta)
+			return cacheRun(pr, seed, system, CacheSweepNodes[xi], sweepClients, ch, putFrac)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Axis 3: distribution shape.
+	distXs := []string{"uniform", "zipf-0.99", "hotspot-90/10"}
+	choosers := []workload.KeyChooser{
+		workload.Uniform{N: cacheSweepRecords},
+		workload.NewZipfianTheta(cacheSweepRecords, theta),
+		workload.NewHotSpot(cacheSweepRecords, 0.9, 0.1),
+	}
+	distT, _, err := cacheGrid(pr, distXs,
+		func(seed int64, system string, xi int) (cacheCellResult, error) {
+			return cacheRun(pr, seed, system, sweepNodes, sweepClients, choosers[xi], putFrac)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	figs := []*Figure{
+		{
+			ID:     "cache-theta",
+			Title:  "In-switch caching vs load balancing under rising skew",
+			XLabel: "zipf theta",
+			YLabel: "gets per second, aggregate",
+			Series: thetaT,
+			Notes: []string{
+				fmt.Sprintf("%d nodes, %d clients, %d keys, 5%% puts; cache: 64 entries, write-invalidate",
+					sweepNodes, sweepClients, cacheSweepRecords),
+				"LB spreads a hot key over R replicas; the cache answers it at the switch",
+			},
+		},
+		{
+			ID:     "cache-theta-p99",
+			Title:  "Get tail latency under rising skew",
+			XLabel: "zipf theta",
+			YLabel: "get p99 latency, ms",
+			Series: thetaP,
+		},
+		{
+			ID:     "cache-nodes",
+			Title:  "In-switch caching vs cluster size (theta = 0.99)",
+			XLabel: "nodes",
+			YLabel: "gets per second, aggregate",
+			Series: nodesT,
+			Notes:  []string{"hot-key throughput with the cache is decoupled from node count"},
+		},
+		{
+			ID:     "cache-dist",
+			Title:  "In-switch caching across key distributions",
+			XLabel: "distribution",
+			YLabel: "gets per second, aggregate",
+			Series: distT,
+		},
+	}
+	return figs, nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/switchcache"
 	"repro/internal/transport"
 )
 
@@ -51,6 +52,21 @@ type Options struct {
 	// ClientIPs overrides the default client placement (useful to pin
 	// clients into specific load-balancing divisions).
 	ClientIPs []netsim.IP
+	// Cache enables the in-switch hot-key cache (internal/switchcache) on
+	// the core datapath, managed by the metadata service's detector.
+	Cache bool
+	// CacheCapacity bounds the switch table (0 = switchcache default).
+	CacheCapacity int
+	// CacheSampleEvery mirrors every Nth missed get key to the detector
+	// (0 = every miss).
+	CacheSampleEvery int
+	// CacheHotThreshold is the sketch estimate that triggers an install
+	// (0 = detector default).
+	CacheHotThreshold uint32
+	// CacheDecayEvery overrides the detector's sketch-halving period.
+	CacheDecayEvery sim.Time
+	// CacheUpdateOnPut selects write-update over write-invalidate.
+	CacheUpdateOnPut bool
 }
 
 // probeCPU, when non-zero, overrides CPUPerOp (test instrumentation).
@@ -109,6 +125,8 @@ type NICE struct {
 	Clients  []*core.Client
 	CStacks  []*transport.Stack
 	Space    ring.Space
+	Cache    *switchcache.Cache       // nil unless Opts.Cache
+	CacheMgr *controller.CacheManager // nil unless Opts.Cache
 }
 
 // NewNICE builds and boots a NICE deployment; call Settle before issuing
@@ -218,6 +236,28 @@ func NewNICE(opts Options) *NICE {
 		d.Service.RegisterHost(cst.IP(), cst.Host().MAC())
 	}
 
+	// In-switch hot-key cache on the core datapath. Attach wraps the
+	// datapath's pipeline, so this must precede traffic but may follow
+	// rule bootstrap.
+	if opts.Cache {
+		ccfg := switchcache.DefaultConfig(opts.CtrlDelay)
+		if opts.CacheCapacity > 0 {
+			ccfg.Capacity = opts.CacheCapacity
+		}
+		if opts.CacheSampleEvery > 0 {
+			ccfg.SampleEvery = opts.CacheSampleEvery
+		}
+		d.Cache = switchcache.Attach(d.Core, core.CacheCodec{DataPort: DataPort}, ccfg)
+		mcfg := controller.DefaultCacheManagerConfig()
+		if opts.CacheHotThreshold > 0 {
+			mcfg.HotThreshold = opts.CacheHotThreshold
+		}
+		if opts.CacheDecayEvery > 0 {
+			mcfg.DecayEvery = opts.CacheDecayEvery
+		}
+		d.CacheMgr = d.Service.EnableCache(d.Cache, mcfg)
+	}
+
 	// Storage nodes.
 	for i := 0; i < opts.Nodes; i++ {
 		ncfg := core.DefaultNodeConfig()
@@ -229,6 +269,10 @@ func NewNICE(opts Options) *NICE {
 		ncfg.Disk = opts.Disk
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
+		if d.Cache != nil {
+			ncfg.Cache = d.Cache
+			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut
+		}
 		node := core.NewNode(d.Stacks[i], ncfg)
 		node.Start()
 		d.Nodes = append(d.Nodes, node)

@@ -123,6 +123,9 @@ type Service struct {
 
 	// dynamic load-balancing state (nil when disabled)
 	lb map[int]*lbState
+
+	// hot-key cache detector (nil unless EnableCache was called)
+	cacheMgr *CacheManager
 }
 
 type hostLoc struct {
@@ -261,6 +264,10 @@ func (svc *Service) listen(p *sim.Proc) {
 			svc.handleRejoin(m.Node)
 		case *ConsistentNotice:
 			svc.handleConsistent(m.Node)
+		case *CacheFetchReply:
+			if svc.cacheMgr != nil {
+				svc.cacheMgr.onFetchReply(m)
+			}
 		}
 	}
 }

@@ -153,6 +153,26 @@ type ExpandAssign struct {
 	Source NodeAddr // the partition's primary
 }
 
+// CacheFetchRequest asks a partition primary for the current committed
+// copy of a hot key, so the controller can install it in the switch
+// cache.
+type CacheFetchRequest struct {
+	Key string
+	// MaxSize caps the reply: objects larger than a cacheable value are
+	// not worth shipping.
+	MaxSize int
+}
+
+// CacheFetchReply carries the object (and its committed version, for the
+// install fence) back to the metadata service.
+type CacheFetchReply struct {
+	Key   string
+	Found bool
+	Value any
+	Size  int
+	Ver   uint64
+}
+
 // ctrlMsgSize approximates the wire size of membership messages; the
 // membership-scalability experiment counts them.
 const ctrlMsgSize = 128

@@ -64,9 +64,23 @@ func NewClient(stack *transport.Stack, cfg ClientConfig) *Client {
 	return &Client{cfg: cfg, stack: stack, pending: make(map[uint64]*sim.Future[any])}
 }
 
-// Start binds the request socket and the reply listener.
+// Start binds the request socket and the reply listeners. Replies come
+// back two ways: storage nodes answer on the client's reply stream, while
+// an in-switch cache hit is synthesized as a single UDP datagram to the
+// same port (the switch cannot speak the stream protocol), so the client
+// listens on both.
 func (c *Client) Start() {
 	c.udp = c.stack.MustBindUDP(0)
+	rep := c.stack.MustBindUDP(c.cfg.ReplyPort)
+	c.stack.Sim().Spawn("client-udp-replies", func(p *sim.Proc) {
+		for {
+			d, ok := rep.Recv(p)
+			if !ok {
+				return
+			}
+			c.dispatch(d.Data)
+		}
+	})
 	ln := c.stack.MustListen(c.cfg.ReplyPort)
 	c.stack.Sim().Spawn("client-accept", func(p *sim.Proc) {
 		for {

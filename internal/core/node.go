@@ -29,6 +29,13 @@ type NodeConfig struct {
 	// CPUPerOp is the per-request processing cost charged on the node's
 	// (serial) CPU; it is what makes a hot node a bottleneck.
 	CPUPerOp sim.Time
+	// Cache, when non-nil, is the in-switch hot-key cache this node's
+	// traffic traverses; every commit write-throughs to it (invalidate or
+	// update) before the client can be acknowledged.
+	Cache SwitchCache
+	// CacheUpdateOnPut selects write-update (refresh the cached copy in
+	// place) over the default write-invalidate.
+	CacheUpdateOnPut bool
 }
 
 // DefaultNodeConfig fills the timing knobs.
@@ -200,6 +207,9 @@ func (n *Node) ctrlLoop(p *sim.Proc) {
 		case *controller.ExpandAssign:
 			view, source := m.View, m.Source
 			n.s.Spawn(n.name("expand"), func(p *sim.Proc) { n.expand(p, view, source) })
+		case *controller.CacheFetchRequest:
+			req := m
+			n.s.Spawn(n.name("cachefetch"), func(p *sim.Proc) { n.handleCacheFetch(p, req) })
 		}
 	}
 }

@@ -209,9 +209,10 @@ func (n *Node) observeTs(ts kvstore.Timestamp) {
 func (n *Node) applyLocal(part int, obj *kvstore.Object) {
 	if n.handoffFor[part] {
 		n.store.ApplyHandoff(obj)
-		return
+	} else {
+		n.store.Apply(obj)
 	}
-	n.store.Apply(obj)
+	n.writeThrough(obj)
 }
 
 // replyPut answers the client over its reply stream.

@@ -98,6 +98,66 @@ func (h *Histogram) MeanDuration() sim.Time {
 	return sim.Time(h.Mean() * float64(time.Second))
 }
 
+// Summary is the per-op latency digest the end-of-run reports print:
+// mean and the standard percentiles, all in seconds.
+type Summary struct {
+	N                  int
+	Mean               float64
+	P50, P95, P99, Max float64
+}
+
+// Summary digests the histogram into the standard percentiles.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		N:    h.N(),
+		Mean: h.Mean(),
+		P50:  h.Percentile(50),
+		P95:  h.Percentile(95),
+		P99:  h.Percentile(99),
+		Max:  h.Max(),
+	}
+}
+
+// String renders the summary with durations rounded to the microsecond.
+func (s Summary) String() string {
+	rd := func(sec float64) sim.Time {
+		return sim.Time(sec * float64(time.Second)).Round(time.Microsecond)
+	}
+	return fmt.Sprintf("n=%-6d mean=%-10v p50=%-10v p95=%-10v p99=%-10v max=%v",
+		s.N, rd(s.Mean), rd(s.P50), rd(s.P95), rd(s.P99), rd(s.Max))
+}
+
+// CacheCounters are the in-switch cache telemetry the switchcache data
+// plane maintains and the cachesweep experiment reports. Occupancy and
+// Capacity are snapshots; everything else counts since attach.
+type CacheCounters struct {
+	Hits          int64 // gets answered at the switch
+	Misses        int64 // cacheable gets that fell through to a server
+	Installs      int64 // controller-installed entries
+	Evictions     int64 // controller-evicted entries
+	Invalidations int64 // entries dropped by the put write-through
+	Updates       int64 // entries refreshed in place by the put write-through
+	Rejected      int64 // installs refused (stale version, full table, oversize)
+	Occupancy     int   // entries resident now
+	Capacity      int   // table bound
+}
+
+// HitRate returns hits/(hits+misses), 0 when idle.
+func (c CacheCounters) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// String renders the counters for run summaries.
+func (c CacheCounters) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%% hit) installs=%d evictions=%d invalidations=%d updates=%d occupancy=%d/%d",
+		c.Hits, c.Misses, 100*c.HitRate(), c.Installs, c.Evictions,
+		c.Invalidations, c.Updates, c.Occupancy, c.Capacity)
+}
+
 // TimeSeries buckets event counts by time: the ops/sec timelines of
 // Fig. 11.
 type TimeSeries struct {

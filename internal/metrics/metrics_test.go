@@ -99,3 +99,58 @@ func TestFormatters(t *testing.T) {
 		}
 	}
 }
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(sim.Time(i) * sim.Time(time.Millisecond))
+	}
+	s := h.Summary()
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if got, want := s.P50, 0.050; got != want {
+		t.Fatalf("p50 = %v, want %v", got, want)
+	}
+	if got, want := s.P95, 0.095; got != want {
+		t.Fatalf("p95 = %v, want %v", got, want)
+	}
+	if got, want := s.P99, 0.099; got != want {
+		t.Fatalf("p99 = %v, want %v", got, want)
+	}
+	if got, want := s.Max, 0.100; got != want {
+		t.Fatalf("max = %v, want %v", got, want)
+	}
+	str := s.String()
+	for _, frag := range []string{"n=100", "p50=50ms", "p99=99ms", "max=100ms"} {
+		if !containsStr(str, frag) {
+			t.Fatalf("summary %q missing %q", str, frag)
+		}
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	var c CacheCounters
+	if c.HitRate() != 0 {
+		t.Fatal("idle hit rate must be 0")
+	}
+	c = CacheCounters{Hits: 75, Misses: 25, Occupancy: 3, Capacity: 64}
+	if got := c.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v", got)
+	}
+	s := c.String()
+	for _, frag := range []string{"hits=75", "75.0% hit", "occupancy=3/64"} {
+		if !containsStr(s, frag) {
+			t.Fatalf("counters %q missing %q", s, frag)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

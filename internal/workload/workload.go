@@ -77,6 +77,12 @@ func NewZipfian(n int) *Zipfian {
 	return newZipfian(n, ZipfTheta, true)
 }
 
+// NewZipfianTheta builds a scrambled zipfian chooser with an explicit
+// skew parameter (the skew sweeps vary theta; YCSB fixes it at 0.99).
+func NewZipfianTheta(n int, theta float64) *Zipfian {
+	return newZipfian(n, theta, true)
+}
+
 func newZipfian(n int, theta float64, scramble bool) *Zipfian {
 	z := &Zipfian{n: n, theta: theta, scramble: scramble}
 	z.zetan = zeta(n, theta)
@@ -125,6 +131,40 @@ func fnv64(v uint64) uint64 {
 		v >>= 8
 	}
 	return h
+}
+
+// HotSpot concentrates HotOpFrac of the operations on the first
+// HotSetFrac of the records (YCSB's hotspot distribution): a step-shaped
+// skew that, unlike zipfian, has a sharp boundary between hot and cold —
+// the worst case for any fixed-size cache sized below the hot set and the
+// best case above it.
+type HotSpot struct {
+	N int
+	// HotSetFrac is the fraction of records forming the hot set (y).
+	HotSetFrac float64
+	// HotOpFrac is the fraction of operations addressing the hot set (x).
+	HotOpFrac float64
+}
+
+// NewHotSpot builds the classic x/y hotspot chooser (e.g. 0.9 of ops on
+// 0.1 of records).
+func NewHotSpot(n int, hotOpFrac, hotSetFrac float64) HotSpot {
+	return HotSpot{N: n, HotOpFrac: hotOpFrac, HotSetFrac: hotSetFrac}
+}
+
+// Next implements KeyChooser: uniform within the chosen set.
+func (h HotSpot) Next(rng *rand.Rand) int {
+	hot := int(float64(h.N) * h.HotSetFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= h.N {
+		return rng.Intn(h.N)
+	}
+	if rng.Float64() < h.HotOpFrac {
+		return rng.Intn(hot)
+	}
+	return hot + rng.Intn(h.N-hot)
 }
 
 // Latest favors recently inserted records (YCSB workload D).

@@ -166,3 +166,94 @@ func TestPutFraction(t *testing.T) {
 		t.Fatalf("F put fraction = %v", f)
 	}
 }
+
+func TestHotSpotSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHotSpot(1000, 0.9, 0.1)
+	const n = 50000
+	hot := 0
+	for i := 0; i < n; i++ {
+		k := h.Next(rng)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		if k < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("hot-set op fraction = %.3f, want ~0.90", frac)
+	}
+}
+
+// TestHotSpotUniformWithin is the chi-square sanity check: within each of
+// the hot and cold sets the chooser must be uniform. With k cells of
+// expectation E, sum((obs-E)^2/E) is chi-square distributed with k-1
+// degrees of freedom; the thresholds below are the 0.999 quantiles, so a
+// correct generator fails with probability ~1e-3 (and the seed is fixed).
+func TestHotSpotUniformWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHotSpot(1000, 0.9, 0.1)
+	const n = 200000
+	counts := make([]int, 1000)
+	hotOps := 0
+	for i := 0; i < n; i++ {
+		k := h.Next(rng)
+		counts[k]++
+		if k < 100 {
+			hotOps++
+		}
+	}
+	chi2 := func(cells []int, total int) float64 {
+		e := float64(total) / float64(len(cells))
+		var sum float64
+		for _, c := range cells {
+			d := float64(c) - e
+			sum += d * d / e
+		}
+		return sum
+	}
+	// 0.999 chi-square quantiles: df=99 -> ~148.2, df=899 -> ~1043.
+	if v := chi2(counts[:100], hotOps); v > 148.2 {
+		t.Fatalf("hot-set chi-square = %.1f (df=99), want < 148.2", v)
+	}
+	if v := chi2(counts[100:], n-hotOps); v > 1043 {
+		t.Fatalf("cold-set chi-square = %.1f (df=899), want < 1043", v)
+	}
+}
+
+func TestHotSpotDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Hot set rounds to the whole keyspace: must still cover [0, n).
+	h := NewHotSpot(4, 0.9, 1.0)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[h.Next(rng)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("degenerate hotspot covered %d/4 keys", len(seen))
+	}
+}
+
+func TestNewZipfianTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	low := NewZipfianTheta(1000, 0.1)
+	high := NewZipfianTheta(1000, 1.2)
+	top := func(z *Zipfian) float64 {
+		counts := map[int]int{}
+		for i := 0; i < 20000; i++ {
+			counts[z.Next(rng)]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		return float64(best) / 20000
+	}
+	if lo, hi := top(low), top(high); hi <= lo {
+		t.Fatalf("theta=1.2 hottest-key share %.3f not above theta=0.1 share %.3f", hi, lo)
+	}
+}
