@@ -14,6 +14,7 @@
 //	nicebench -experiment fig5 -ops 200   # one figure, reduced cost
 //	nicebench -experiment fig5 -compare   # parallel vs sequential wall clock
 //	nicebench -experiment kernel          # sim/netsim micro-benchmarks -> BENCH_kernel.json
+//	nicebench -experiment chaos           # randomized fault schedules + consistency checker
 package main
 
 import (
@@ -86,6 +87,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "time each figure both parallel and sequential")
 		figOut   = flag.String("figures-out", "BENCH_figures.json", "write figure wall-clock timings here (empty: skip)")
 		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
+		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
 	)
 	flag.Parse()
 
@@ -93,7 +95,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -271,6 +273,19 @@ func main() {
 			return err
 		})
 	}
+	if want("chaos") {
+		t0 := time.Now()
+		rep, err := cluster.RunChaos(pr, *chaosN)
+		if err != nil {
+			fail(err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("-- chaos: %.2fs wall\n\n", time.Since(t0).Seconds())
+		ran++
+		if len(rep.Violating()) > 0 || !rep.DeterminismOK {
+			os.Exit(1)
+		}
+	}
 	if want("fabric") {
 		fig, err := cluster.FabricComparison(pr)
 		if err != nil {
@@ -305,7 +320,7 @@ func main() {
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}

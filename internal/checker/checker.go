@@ -1,0 +1,201 @@
+// Package checker records per-client operation histories from a chaos
+// run and checks them against the store's consistency contract. Clients
+// log one Event per completed operation (invoke time, return time,
+// outcome, returned version); Check replays the history and reports
+// every invariant violation it can prove from the client-observable
+// record alone.
+//
+// Invariants (DESIGN.md §9):
+//
+//	lost-update       a get that began after a put was acked must find
+//	                  the key
+//	stale-read        a get must return a version at least as new as any
+//	                  put acked before the get began (switch-cache hits
+//	                  included — a cache must never serve a
+//	                  pre-invalidation value)
+//	version-rollback  an acked put must be versioned strictly newer than
+//	                  every put acked before it began
+//	version-collision a version number is assigned to at most one acked
+//	                  put per key
+//
+// The floor for an operation deliberately counts only puts whose ack
+// returned before the operation was invoked: overlapping operations are
+// concurrent and either order is legal, so the checker never
+// false-positives on races it cannot order. Failed operations
+// constrain nothing.
+package checker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// OpKind is the operation type of a history event.
+type OpKind int
+
+const (
+	OpPut OpKind = iota
+	OpGet
+)
+
+// String names the op for violation details.
+func (k OpKind) String() string {
+	if k == OpPut {
+		return "put"
+	}
+	return "get"
+}
+
+// Event is one completed client operation.
+type Event struct {
+	Client int
+	Kind   OpKind
+	Key    string
+	// Invoke and Return bracket the operation in simulated time.
+	Invoke, Return sim.Time
+	// OK is true if the operation succeeded (put acked / get answered).
+	OK bool
+	// Found is true if a get returned a value.
+	Found bool
+	// Ver is the returned version (put: committed version; get: version
+	// of the value read, 0 if not found).
+	Ver uint64
+}
+
+// Violation is one proven invariant breach.
+type Violation struct {
+	Invariant string
+	Key       string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s key=%q: %s", v.Invariant, v.Key, v.Detail)
+}
+
+// History accumulates events from one run. It is not synchronized: the
+// simulator is single-threaded, so Record is only ever called from sim
+// processes of one cell.
+type History struct {
+	Events []Event
+}
+
+// Record appends one completed operation.
+func (h *History) Record(e Event) { h.Events = append(h.Events, e) }
+
+// Len is the number of recorded events.
+func (h *History) Len() int { return len(h.Events) }
+
+// Hash digests the history (FNV-1a, field and record order preserved).
+// Two runs of the same seed must produce equal hashes; that is the
+// determinism check for the whole stack under fault injection.
+func (h *History) Hash() uint64 {
+	d := fnv.New64a()
+	var buf [8]byte
+	wi := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		d.Write(buf[:])
+	}
+	for i := range h.Events {
+		e := &h.Events[i]
+		wi(uint64(e.Client))
+		wi(uint64(e.Kind))
+		d.Write([]byte(e.Key))
+		wi(uint64(e.Invoke))
+		wi(uint64(e.Return))
+		flags := uint64(0)
+		if e.OK {
+			flags |= 1
+		}
+		if e.Found {
+			flags |= 2
+		}
+		wi(flags)
+		wi(e.Ver)
+	}
+	return d.Sum64()
+}
+
+// Check verifies the invariants and returns every violation found.
+func (h *History) Check() []Violation {
+	var out []Violation
+
+	// Group events by key; order within a key by invoke time so the
+	// floor scan is a single pass per event.
+	byKey := map[string][]*Event{}
+	for i := range h.Events {
+		e := &h.Events[i]
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic violation order
+
+	for _, key := range keys {
+		evs := byKey[key]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].Invoke < evs[j].Invoke })
+
+		seenVer := map[uint64]*Event{}
+		for _, e := range evs {
+			// floor: newest version acked before e was invoked.
+			var floor uint64
+			for _, p := range evs {
+				if p.Kind == OpPut && p.OK && p.Return <= e.Invoke && p.Ver > floor {
+					floor = p.Ver
+				}
+			}
+			switch e.Kind {
+			case OpGet:
+				if !e.OK {
+					continue
+				}
+				if floor > 0 && !e.Found {
+					out = append(out, Violation{
+						Invariant: "lost-update",
+						Key:       key,
+						Detail: fmt.Sprintf("client %d get at %v found nothing; version %d was acked before it began",
+							e.Client, e.Invoke, floor),
+					})
+					continue
+				}
+				if e.Found && e.Ver < floor {
+					out = append(out, Violation{
+						Invariant: "stale-read",
+						Key:       key,
+						Detail: fmt.Sprintf("client %d get at %v returned version %d; version %d was acked before it began",
+							e.Client, e.Invoke, e.Ver, floor),
+					})
+				}
+			case OpPut:
+				if !e.OK {
+					continue
+				}
+				if e.Ver <= floor {
+					out = append(out, Violation{
+						Invariant: "version-rollback",
+						Key:       key,
+						Detail: fmt.Sprintf("client %d put at %v acked version %d, not newer than previously acked %d",
+							e.Client, e.Invoke, e.Ver, floor),
+					})
+				}
+				if prev, dup := seenVer[e.Ver]; dup {
+					out = append(out, Violation{
+						Invariant: "version-collision",
+						Key:       key,
+						Detail: fmt.Sprintf("clients %d and %d both acked version %d",
+							prev.Client, e.Client, e.Ver),
+					})
+				} else {
+					seenVer[e.Ver] = e
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package checker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * sim.Time(time.Millisecond) }
+
+func put(client int, key string, invoke, ret, ver int, ok bool) Event {
+	return Event{Client: client, Kind: OpPut, Key: key, Invoke: ms(invoke), Return: ms(ret), OK: ok, Ver: uint64(ver)}
+}
+
+func get(client int, key string, invoke, ret, ver int, found bool) Event {
+	return Event{Client: client, Kind: OpGet, Key: key, Invoke: ms(invoke), Return: ms(ret), OK: true, Found: found, Ver: uint64(ver)}
+}
+
+func check(evs ...Event) []Violation {
+	h := &History{}
+	for _, e := range evs {
+		h.Record(e)
+	}
+	return h.Check()
+}
+
+func wantViolation(t *testing.T, vs []Violation, invariant string) {
+	t.Helper()
+	if len(vs) != 1 {
+		t.Fatalf("got %d violations %v, want 1 %s", len(vs), vs, invariant)
+	}
+	if vs[0].Invariant != invariant {
+		t.Fatalf("got %q, want %q (%s)", vs[0].Invariant, invariant, vs[0])
+	}
+}
+
+func TestCleanHistoryPasses(t *testing.T) {
+	vs := check(
+		put(0, "a", 0, 10, 1, true),
+		get(1, "a", 20, 25, 1, true),
+		put(1, "a", 30, 40, 2, true),
+		get(0, "a", 50, 55, 2, true),
+		get(0, "b", 50, 55, 0, false), // never written: empty get is fine
+		put(2, "a", 60, 70, 3, false), // failed put constrains nothing
+		get(2, "a", 80, 85, 2, true),
+	)
+	if len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestConcurrentOpsAreNotOrdered(t *testing.T) {
+	// The get overlaps the put (invoked before the put's ack returned),
+	// so reading the old version is legal.
+	vs := check(
+		put(0, "a", 0, 10, 1, true),
+		put(1, "a", 20, 40, 2, true),
+		get(2, "a", 30, 35, 1, true),
+	)
+	if len(vs) != 0 {
+		t.Fatalf("concurrent read flagged: %v", vs)
+	}
+}
+
+func TestLostUpdate(t *testing.T) {
+	vs := check(
+		put(0, "a", 0, 10, 1, true),
+		get(1, "a", 20, 25, 0, false),
+	)
+	wantViolation(t, vs, "lost-update")
+}
+
+func TestStaleRead(t *testing.T) {
+	vs := check(
+		put(0, "a", 0, 10, 1, true),
+		put(0, "a", 20, 30, 2, true),
+		get(1, "a", 40, 45, 1, true),
+	)
+	wantViolation(t, vs, "stale-read")
+}
+
+func TestVersionRollback(t *testing.T) {
+	vs := check(
+		put(0, "a", 0, 10, 5, true),
+		put(1, "a", 20, 30, 5, false), // failed: ignored
+		put(1, "a", 40, 50, 3, true),
+	)
+	wantViolation(t, vs, "version-rollback")
+}
+
+func TestVersionCollision(t *testing.T) {
+	// Concurrent puts acking the same version: collision (and neither is
+	// a rollback, since they overlap).
+	vs := check(
+		put(0, "a", 0, 20, 1, true),
+		put(1, "a", 5, 25, 1, true),
+	)
+	wantViolation(t, vs, "version-collision")
+}
+
+func TestViolationsScopedPerKey(t *testing.T) {
+	vs := check(
+		put(0, "a", 0, 10, 1, true),
+		get(1, "b", 20, 25, 0, false), // different key: no floor
+	)
+	if len(vs) != 0 {
+		t.Fatalf("cross-key floor leaked: %v", vs)
+	}
+}
+
+func TestHashDeterministicAndOrderSensitive(t *testing.T) {
+	a := &History{}
+	b := &History{}
+	evs := []Event{
+		put(0, "a", 0, 10, 1, true),
+		get(1, "a", 20, 25, 1, true),
+	}
+	for _, e := range evs {
+		a.Record(e)
+		b.Record(e)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal histories hash differently")
+	}
+	c := &History{}
+	c.Record(evs[1])
+	c.Record(evs[0])
+	if c.Hash() == a.Hash() {
+		t.Fatal("reordered history hashes equal")
+	}
+	d := &History{Events: []Event{evs[0]}}
+	if d.Hash() == a.Hash() {
+		t.Fatal("prefix history hashes equal")
+	}
+}

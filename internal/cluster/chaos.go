@@ -1,0 +1,345 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/checker"
+	"repro/internal/faultinject"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
+
+// The chaos experiment runs randomized fault schedules
+// (internal/faultinject) against small NICEKV deployments while clients
+// record an operation history the consistency checker
+// (internal/checker) verifies afterwards. Every cell is deterministic:
+// the schedule, the simulator and the workload all derive from one
+// seed, so a violation prints a one-line repro ("system :: schedule")
+// that replays the exact execution via ReplayChaos.
+
+// chaosHorizon is the workload duration of one chaos cell; faults land
+// in [horizon/10, horizon*7/10] and the longest outage is horizon/5, so
+// the tail of every run observes a healed cluster.
+const chaosHorizon = 800 * time.Millisecond
+
+// chaosThink paces the clients (one op roughly every think time).
+const chaosThink = 2 * time.Millisecond
+
+const chaosValSize = 128
+
+// chaosKeys is the shared working set. Three clients cycling through it
+// with different phases gives every key cross-client read/write traffic.
+var chaosKeys = []string{
+	"chaos-0", "chaos-1", "chaos-2", "chaos-3",
+	"chaos-4", "chaos-5", "chaos-6", "chaos-7",
+}
+
+// chaosSystem is one system configuration under test.
+type chaosSystem struct {
+	name string
+	tune func(*Options)
+	// maxOutages overrides the generator's concurrent-outage cap when
+	// non-zero.
+	maxOutages int
+}
+
+// chaosSystems returns the tested configurations. The quorum system runs
+// without load balancing: an any-k put is acked before the laggard
+// secondary commits, so a balanced get to that secondary may legally
+// return the previous version — the acked-put floor only holds on the
+// primary read path. It also caps the generator at one concurrent
+// outage: an any-k put is durable on the primary plus k-1 secondaries
+// only, so two overlapping outages can make every copy of an
+// acknowledged put unreachable while the view moves on — a data-loss
+// window the protocol does not claim to survive.
+func chaosSystems() []chaosSystem {
+	return []chaosSystem{
+		{name: "NICEKV/2PC", tune: func(o *Options) { o.LoadBalance = true }},
+		{name: "NICEKV+cache", tune: func(o *Options) {
+			o.LoadBalance = true
+			o.Cache = true
+			o.CacheHotThreshold = 4
+			o.CacheSampleEvery = 1
+			o.CacheDecayEvery = 200 * time.Millisecond
+		}},
+		{name: "NICEKV+quorum", tune: func(o *Options) { o.QuorumK = 2 }, maxOutages: 1},
+	}
+}
+
+// chaosOptions is the cell deployment: small cluster, fast failure
+// detection, tight client timeouts with capped-backoff retries sized so
+// an op can outlive a detection + handoff window.
+func chaosOptions(seed int64) Options {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = 5
+	opts.R = 3
+	opts.Clients = 3
+	opts.Heartbeat = 20 * time.Millisecond
+	opts.AckTimeout = 5 * time.Millisecond
+	opts.OpTimeout = 10 * time.Millisecond
+	opts.RetryWait = 5 * time.Millisecond
+	opts.RetryMaxWait = 40 * time.Millisecond
+	opts.MaxRetries = 8
+	return opts
+}
+
+func chaosGenConfig(sys chaosSystem) faultinject.GenConfig {
+	cfg := faultinject.DefaultGenConfig(chaosOptions(0).Nodes, chaosHorizon)
+	if sys.maxOutages > 0 {
+		cfg.MaxOutages = sys.maxOutages
+	}
+	return cfg
+}
+
+// niceFabric adapts a NICE deployment to faultinject.Fabric. Base link
+// and disk configurations are captured at construction so degradations
+// revert exactly; the generator serializes faults per node, so a revert
+// never clobbers another active fault's state.
+type niceFabric struct {
+	d     *NICE
+	disks []kvstore.DiskConfig
+}
+
+func newNiceFabric(d *NICE) *niceFabric {
+	f := &niceFabric{d: d}
+	for _, n := range d.Nodes {
+		f.disks = append(f.disks, n.Store().Disk())
+	}
+	return f
+}
+
+func (f *niceFabric) Crash(n int)   { f.d.Nodes[n].Crash() }
+func (f *niceFabric) Restart(n int) { f.d.Nodes[n].Restart() }
+
+func (f *niceFabric) SetLinkDown(n int, down bool) { f.d.NodeLinks[n].SetDown(down) }
+
+func (f *niceFabric) SetLinkLoss(n int, rate float64) { f.d.NodeLinks[n].SetLossRate(rate) }
+
+func (f *niceFabric) SetLinkDelayFactor(n int, factor float64) {
+	cfg := f.d.Opts.Link
+	cfg.Delay = sim.Time(float64(cfg.Delay) * factor)
+	f.d.NodeLinks[n].SetConfig(cfg)
+}
+
+func (f *niceFabric) SetNICFactor(n int, factor float64) {
+	cfg := f.d.Opts.Link
+	cfg.BandwidthBps /= factor
+	f.d.NodeLinks[n].SetConfig(cfg)
+}
+
+func (f *niceFabric) SetDiskFactor(n int, factor float64) {
+	base := f.disks[n]
+	cfg := f.d.Nodes[n].Store().Disk()
+	cfg.WriteLatency = sim.Time(float64(base.WriteLatency) * factor)
+	cfg.WriteBps = base.WriteBps / factor
+	cfg.ReadLatency = sim.Time(float64(base.ReadLatency) * factor)
+	cfg.ReadBps = base.ReadBps / factor
+	f.d.Nodes[n].Store().SetDisk(cfg)
+}
+
+func (f *niceFabric) SetCtrlFault(extra sim.Time, drop float64) {
+	f.d.Core.SetControlFault(extra, drop)
+	if f.d.Cache != nil {
+		f.d.Cache.SetExtraCtrlDelay(extra)
+	}
+}
+
+// ChaosCell is the outcome of one (system, schedule) run.
+type ChaosCell struct {
+	System   string
+	Schedule faultinject.Schedule
+	// Ops counts completed client operations; Failed those that
+	// exhausted their retry budget (legal under faults — failed ops
+	// constrain nothing).
+	Ops, Failed int
+	// Hash digests the recorded history; equal seeds must produce equal
+	// hashes.
+	Hash       uint64
+	Violations []checker.Violation
+}
+
+// Repro is the one-line reproduction command for this cell.
+func (c *ChaosCell) Repro() string {
+	return fmt.Sprintf("%s :: %s", c.System, c.Schedule)
+}
+
+// runChaosCell executes one fault schedule against one system. The
+// simulator seed is the schedule seed, so the whole cell derives from
+// one number.
+func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error) {
+	cell := ChaosCell{System: sys.name, Schedule: sched}
+	opts := chaosOptions(sched.Seed)
+	sys.tune(&opts)
+	d := NewNICE(opts)
+	defer d.Close()
+	if err := d.Settle(); err != nil {
+		return cell, err
+	}
+	faultinject.Install(d.Sim, newNiceFabric(d), sched)
+
+	hist := &checker.History{}
+	failed := 0
+	done := sim.NewQueue[int](d.Sim)
+	for i := range d.Clients {
+		ci := i
+		cl := d.Clients[ci]
+		d.Sim.Spawn(fmt.Sprintf("chaos-client-%d", ci), func(p *sim.Proc) {
+			start := p.Now()
+			for j := 0; p.Now()-start < chaosHorizon; j++ {
+				key := chaosKeys[(ci+j)%len(chaosKeys)]
+				inv := p.Now()
+				if j%2 == 0 {
+					res, err := cl.Put(p, key, fmt.Sprintf("c%d-%d", ci, j), chaosValSize)
+					hist.Record(checker.Event{
+						Client: ci, Kind: checker.OpPut, Key: key,
+						Invoke: inv, Return: p.Now(), OK: err == nil, Ver: res.Version,
+					})
+					if err != nil {
+						failed++
+					}
+				} else {
+					res, err := cl.Get(p, key)
+					hist.Record(checker.Event{
+						Client: ci, Kind: checker.OpGet, Key: key,
+						Invoke: inv, Return: p.Now(), OK: err == nil,
+						Found: res.Found, Ver: res.Version,
+					})
+					if err != nil {
+						failed++
+					}
+				}
+				p.Sleep(chaosThink)
+			}
+			done.Push(ci)
+		})
+	}
+	d.Sim.Spawn("chaos-driver", func(p *sim.Proc) {
+		for range d.Clients {
+			done.Pop(p)
+		}
+		p.Sleep(150 * time.Millisecond) // drain recoveries and trailing acks
+		d.Sim.Stop()
+	})
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	cell.Ops = hist.Len()
+	cell.Failed = failed
+	cell.Hash = hist.Hash()
+	cell.Violations = hist.Check()
+	return cell, nil
+}
+
+// ReplayChaos re-executes a repro line printed by a chaos run
+// ("system :: seed=N | fault ... ") and returns the replayed cell.
+func ReplayChaos(repro string) (ChaosCell, error) {
+	sysName, schedText, ok := strings.Cut(repro, "::")
+	if !ok {
+		return ChaosCell{}, fmt.Errorf("chaos: repro %q is not \"system :: schedule\"", repro)
+	}
+	sysName = strings.TrimSpace(sysName)
+	sched, err := faultinject.ParseSchedule(strings.TrimSpace(schedText))
+	if err != nil {
+		return ChaosCell{}, err
+	}
+	for _, sys := range chaosSystems() {
+		if sys.name == sysName {
+			return runChaosCell(sys, sched)
+		}
+	}
+	return ChaosCell{}, fmt.Errorf("chaos: unknown system %q", sysName)
+}
+
+// ChaosReport aggregates a chaos sweep.
+type ChaosReport struct {
+	Schedules int
+	Systems   []string
+	Cells     []ChaosCell
+	// DeterminismOK reports the post-sweep recheck: schedule 0 of every
+	// system replayed and its history hash compared.
+	DeterminismOK bool
+	Mismatches    []string
+}
+
+// Violating returns the cells whose histories broke an invariant.
+func (r *ChaosReport) Violating() []*ChaosCell {
+	var out []*ChaosCell
+	for i := range r.Cells {
+		if len(r.Cells[i].Violations) > 0 {
+			out = append(out, &r.Cells[i])
+		}
+	}
+	return out
+}
+
+// Fprint renders the sweep summary, one row per system, then any
+// violations with their repro lines.
+func (r *ChaosReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== chaos: %d fault schedules per system ==\n", r.Schedules)
+	for si, name := range r.Systems {
+		ops, failed, faults, bad := 0, 0, 0, 0
+		for i := si * r.Schedules; i < (si+1)*r.Schedules; i++ {
+			c := &r.Cells[i]
+			ops += c.Ops
+			failed += c.Failed
+			faults += len(c.Schedule.Events)
+			bad += len(c.Violations)
+		}
+		fmt.Fprintf(w, "%-14s ops=%-6d failed=%-5d faults=%-4d violations=%d\n",
+			name, ops, failed, faults, bad)
+	}
+	if r.DeterminismOK {
+		fmt.Fprintf(w, "determinism: replayed schedule 0 of each system, histories identical\n")
+	} else {
+		fmt.Fprintf(w, "determinism: FAILED\n")
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(w, "  %s\n", m)
+		}
+	}
+	for _, c := range r.Violating() {
+		fmt.Fprintf(w, "VIOLATION repro: %s\n", c.Repro())
+		for _, v := range c.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+	}
+}
+
+// RunChaos sweeps `schedules` randomized fault schedules over every
+// chaos system on the RunCells worker pool, then replays schedule 0 of
+// each system to confirm determinism.
+func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
+	systems := chaosSystems()
+	rep := &ChaosReport{Schedules: schedules}
+	for _, s := range systems {
+		rep.Systems = append(rep.Systems, s.name)
+	}
+	rep.Cells = make([]ChaosCell, len(systems)*schedules)
+	err := RunCells(pr, len(rep.Cells), func(i int, seed int64) error {
+		sys := systems[i/schedules]
+		sched := faultinject.Generate(seed, chaosGenConfig(sys))
+		cell, err := runChaosCell(sys, sched)
+		rep.Cells[i] = cell
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.DeterminismOK = true
+	for si, sys := range systems {
+		first := &rep.Cells[si*schedules]
+		again, err := runChaosCell(sys, first.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		if again.Hash != first.Hash {
+			rep.DeterminismOK = false
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("%s: hash %x vs replay %x (%s)", sys.name, first.Hash, again.Hash, first.Repro()))
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestChaosSmoke is the CI-sized chaos sweep: a few fixed-seed schedules
+// per system, zero invariant violations expected. The full experiment
+// (`nicebench -experiment chaos`) runs 50 schedules per system; this
+// keeps the same machinery honest under -race on every push.
+func TestChaosSmoke(t *testing.T) {
+	const schedules = 4
+	rep, err := RunChaos(Params{Seed: 42}, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Violating() {
+		t.Errorf("violations, repro: %s", c.Repro())
+		for _, v := range c.Violations {
+			t.Logf("    %s", v)
+		}
+	}
+	if !rep.DeterminismOK {
+		t.Errorf("determinism recheck failed: %v", rep.Mismatches)
+	}
+	for i := range rep.Cells {
+		if rep.Cells[i].Ops == 0 {
+			t.Errorf("cell %d (%s) recorded no operations", i, rep.Cells[i].Repro())
+		}
+	}
+}
+
+// TestChaosDeterminism: the same (system, schedule) cell must replay to
+// an identical history, and the parallel sweep must agree cell-by-cell
+// with the sequential one.
+func TestChaosDeterminism(t *testing.T) {
+	sys := chaosSystems()[0]
+	sched := faultinject.Generate(DeriveSeed(7, 3), chaosGenConfig(sys))
+	a, err := runChaosCell(sys, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runChaosCell(sys, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash != b.Hash || a.Ops != b.Ops || a.Failed != b.Failed {
+		t.Fatalf("same seed diverged: ops %d/%d failed %d/%d hash %x/%x",
+			a.Ops, b.Ops, a.Failed, b.Failed, a.Hash, b.Hash)
+	}
+
+	seq, err := RunChaos(Params{Seed: 11, Seq: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunChaos(Params{Seed: 11}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Cells {
+		if seq.Cells[i].Hash != par.Cells[i].Hash {
+			t.Errorf("cell %d: sequential hash %x != parallel hash %x (%s)",
+				i, seq.Cells[i].Hash, par.Cells[i].Hash, seq.Cells[i].Repro())
+		}
+	}
+}
+
+// TestChaosReplayRoundTrip: the repro line a violating (or any) cell
+// prints must replay to the exact same execution.
+func TestChaosReplayRoundTrip(t *testing.T) {
+	sys := chaosSystems()[2] // quorum: the most failure-sensitive config
+	sched := faultinject.Generate(DeriveSeed(5, 1), chaosGenConfig(sys))
+	orig, err := runChaosCell(sys, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReplayChaos(orig.Repro())
+	if err != nil {
+		t.Fatalf("ReplayChaos(%q): %v", orig.Repro(), err)
+	}
+	if replayed.Hash != orig.Hash || replayed.Ops != orig.Ops {
+		t.Fatalf("replay diverged: ops %d/%d hash %x/%x",
+			orig.Ops, replayed.Ops, orig.Hash, replayed.Hash)
+	}
+
+	if _, err := ReplayChaos("not a repro line"); err == nil {
+		t.Error("malformed repro accepted")
+	}
+	if _, err := ReplayChaos("NOSYS :: seed=1"); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+// TestChaosCatchesInjectedViolation plants a real bug — the switch cache
+// stops being invalidated on puts (probeDropInvalidate) — and demands
+// the checker catch the resulting stale cache hits and print a usable
+// repro. This is the end-to-end proof that a silent chaos sweep means
+// something.
+func TestChaosCatchesInjectedViolation(t *testing.T) {
+	probeDropInvalidate = true
+	defer func() { probeDropInvalidate = false }()
+	var sys chaosSystem
+	for _, s := range chaosSystems() {
+		if s.name == "NICEKV+cache" {
+			sys = s
+		}
+	}
+	if sys.name == "" {
+		t.Fatal("cache system missing from chaosSystems")
+	}
+	// No faults needed: the shared hot keys get cached within a few
+	// gets, and the next put leaves the stale entry in the switch.
+	cell, err := runChaosCell(sys, faultinject.Schedule{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.Violations) == 0 {
+		t.Fatal("checker missed the injected stale-cache bug")
+	}
+	stale := false
+	for _, v := range cell.Violations {
+		if v.Invariant == "stale-read" {
+			stale = true
+		}
+	}
+	if !stale {
+		t.Errorf("no stale-read among violations: %v", cell.Violations)
+	}
+	if !strings.HasPrefix(cell.Repro(), "NICEKV+cache :: seed=99") {
+		t.Errorf("unprintable repro: %q", cell.Repro())
+	}
+}

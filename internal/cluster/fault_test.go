@@ -267,7 +267,7 @@ func TestRecoveringNodeIsPutVisibleButGetHidden(t *testing.T) {
 		// controller state and that get routing excludes it.
 		p.Sleep(50 * time.Millisecond)
 		v := d.Service.View(part)
-		if v.Recovering != nil && v.Recovering.Index == victim {
+		if v.IsRecovering(victim) {
 			// Good: caught the window. Gets now must not hit the victim.
 			for i := 0; i < 10; i++ {
 				if _, err := c.Get(p, keys[i%len(keys)]); err != nil {

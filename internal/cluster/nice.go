@@ -39,9 +39,12 @@ type Options struct {
 	CtrlDelay     sim.Time
 	Disk          kvstore.DiskConfig
 	Heartbeat     sim.Time
+	AckTimeout    sim.Time // protocol-phase wait (0 = node default)
 	OpTimeout     sim.Time
 	RetryWait     sim.Time
-	EdgeOVS       bool // client-side Open vSwitch deployment (§5.1)
+	RetryMaxWait  sim.Time // back-off cap (0 = client default)
+	MaxRetries    int      // per-op retry budget (0 = client default)
+	EdgeOVS       bool     // client-side Open vSwitch deployment (§5.1)
 	EdgeLatency   sim.Time
 	QuorumK       int      // any-k puts (0 = all replicas)
 	CPUPerOp      sim.Time // per-request node processing cost
@@ -71,6 +74,11 @@ type Options struct {
 
 // probeCPU, when non-zero, overrides CPUPerOp (test instrumentation).
 var probeCPU sim.Time
+
+// probeDropInvalidate, when set, suppresses the cache write-through on
+// puts (test instrumentation: the chaos checker must catch the resulting
+// stale switch-cache reads).
+var probeDropInvalidate bool
 
 // DefaultOptions mirrors the paper's deployment configuration.
 func DefaultOptions() Options {
@@ -127,6 +135,12 @@ type NICE struct {
 	Space    ring.Space
 	Cache    *switchcache.Cache       // nil unless Opts.Cache
 	CacheMgr *controller.CacheManager // nil unless Opts.Cache
+	// NodeLinks[i] is storage node i's access link (fault injection cuts
+	// and degrades these); ClientLinks likewise for clients (nil entries
+	// under EdgeOVS, where the client link is behind its own switch).
+	NodeLinks   []*netsim.Link
+	ClientLinks []*netsim.Link
+	MetaLink    *netsim.Link
 }
 
 // NewNICE builds and boots a NICE deployment; call Settle before issuing
@@ -160,7 +174,7 @@ func NewNICE(opts Options) *NICE {
 	var addrs []controller.NodeAddr
 	for i := 0; i < opts.Nodes; i++ {
 		h := nw.NewHost("node"+itoa(i), netsim.IPv4(10, 0, byte(i>>8), byte(i&0xff)).Add(1))
-		nw.Connect(h.Port(), sw.Port(i), opts.Link)
+		d.NodeLinks = append(d.NodeLinks, nw.Connect(h.Port(), sw.Port(i), opts.Link))
 		attach(h.IP(), i)
 		st := transport.NewStack(h)
 		d.Stacks = append(d.Stacks, st)
@@ -171,7 +185,7 @@ func NewNICE(opts Options) *NICE {
 
 	// Metadata host on port Nodes.
 	metaHost := nw.NewHost("meta", netsim.MustParseIP("10.254.0.1"))
-	nw.Connect(metaHost.Port(), sw.Port(opts.Nodes), opts.Link)
+	d.MetaLink = nw.Connect(metaHost.Port(), sw.Port(opts.Nodes), opts.Link)
 	attach(metaHost.IP(), opts.Nodes)
 	metaStack := transport.NewStack(metaHost)
 	d.MetaHost = metaHost
@@ -201,8 +215,9 @@ func NewNICE(opts Options) *NICE {
 			nw.Connect(ovs.Port(1), sw.Port(port), opts.Link)
 			edge.AddEdge(dp, 1)
 			edge.AttachLocal(dp, ip, 0)
+			d.ClientLinks = append(d.ClientLinks, nil)
 		} else {
-			nw.Connect(h.Port(), sw.Port(port), opts.Link)
+			d.ClientLinks = append(d.ClientLinks, nw.Connect(h.Port(), sw.Port(port), opts.Link))
 		}
 		attach(ip, port)
 		st := transport.NewStack(h)
@@ -266,10 +281,13 @@ func NewNICE(opts Options) *NICE {
 		ncfg.MetaPort = MetaPort
 		ncfg.Space = d.Space
 		ncfg.HeartbeatEvery = opts.Heartbeat
+		if opts.AckTimeout > 0 {
+			ncfg.AckTimeout = opts.AckTimeout
+		}
 		ncfg.Disk = opts.Disk
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
-		if d.Cache != nil {
+		if d.Cache != nil && !probeDropInvalidate {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut
 		}
@@ -288,6 +306,12 @@ func NewNICE(opts Options) *NICE {
 		ccfg.QuorumK = opts.QuorumK
 		ccfg.OpTimeout = opts.OpTimeout
 		ccfg.RetryWait = opts.RetryWait
+		if opts.RetryMaxWait > 0 {
+			ccfg.RetryMaxWait = opts.RetryMaxWait
+		}
+		if opts.MaxRetries > 0 {
+			ccfg.MaxRetries = opts.MaxRetries
+		}
 		cl := core.NewClient(d.CStacks[i], ccfg)
 		cl.Start()
 		d.Clients = append(d.Clients, cl)

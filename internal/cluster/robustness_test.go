@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/ring"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Regression tests for the client/put-path hardening that rode along
+// with the fault-injection framework: retried-put dedup, partial-commit
+// retry, recovery and handoff under packet loss, and the typed
+// exhausted-retries error.
+
+// TestDuplicatePutIsDeduplicated replays the exact wire-level scenario a
+// client retry produces — the same PutRequest (same ClientSeq)
+// multicast twice — and checks the replica set commits exactly once:
+// the primary coordinates a single put, answers the duplicate from its
+// dedup record, and every replica converges on one version.
+func TestDuplicatePutIsDeduplicated(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 5
+	opts.Clients = 1
+	d := NewNICE(opts)
+	if err := d.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	const key = "dup-put-key"
+	part := d.Space.PartitionOf(key)
+	// Same multicast vring NewNICE wires into the controller and clients.
+	mring := ring.MustVRing(netsim.MustParsePrefix("10.11.0.0/16"), opts.Nodes, 8)
+	req := &core.PutRequest{
+		Key:        key,
+		Value:      "once",
+		Size:       1024,
+		Client:     d.CStacks[0].IP(),
+		ClientPort: 8000,
+		ClientSeq:  999999, // clear of the real client's sequence space
+	}
+	send := func(p *sim.Proc) {
+		_, err := d.CStacks[0].SendMulticast(p, transport.McastOpts{
+			To:        mring.AddrOfKey(key),
+			ToPort:    DataPort,
+			Data:      req,
+			Size:      1024,
+			Receivers: opts.R,
+			Timeout:   time.Second,
+		})
+		if err != nil {
+			t.Errorf("multicast: %v", err)
+		}
+	}
+	d.Sim.Spawn("driver", func(p *sim.Proc) {
+		defer d.Sim.Stop()
+		send(p)
+		p.Sleep(50 * time.Millisecond) // let the first attempt commit
+		send(p)                        // the "retry"
+		p.Sleep(100 * time.Millisecond)
+	})
+	if err := d.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	v := d.Service.View(part)
+	primary := v.Primary().Index
+	if got := d.Nodes[primary].Stats().PutsPrimary; got != 1 {
+		t.Errorf("primary coordinated %d puts, want 1", got)
+	}
+	if got := d.Nodes[primary].Stats().DupPuts; got < 1 {
+		t.Errorf("primary answered %d duplicate puts, want >= 1", got)
+	}
+	var ver uint64
+	for _, r := range v.Replicas {
+		obj, ok := d.Nodes[r.Index].Store().Peek(key)
+		if !ok {
+			t.Errorf("node %d missing %s after duplicate put", r.Index, key)
+			continue
+		}
+		if ver == 0 {
+			ver = obj.Version.PrimarySeq
+		} else if obj.Version.PrimarySeq != ver {
+			t.Errorf("node %d holds version %d, others %d", r.Index, obj.Version.PrimarySeq, ver)
+		}
+	}
+	d.Close()
+}
+
+// TestPutRetriesThroughSecondaryCrash sweeps the crash of a secondary
+// across offsets inside the put window (§4.4 "failures during put"): the
+// client's retry of the same logical put must converge the repaired
+// replica set on exactly one committed version, never two.
+func TestPutRetriesThroughSecondaryCrash(t *testing.T) {
+	offsets := []sim.Time{
+		100 * time.Microsecond, // before phase-one acks
+		500 * time.Microsecond, // around the timestamp multicast
+		2 * time.Millisecond,   // commit phase
+		10 * time.Millisecond,  // after commit (crash hits a done put)
+	}
+	for oi, off := range offsets {
+		opts := chaosOptions(int64(1000 + oi))
+		d := NewNICE(opts)
+		if err := d.Settle(); err != nil {
+			t.Fatal(err)
+		}
+		const part = 0
+		key := d.keysInPartition(part, 1)[0]
+		victim := d.Service.View(part).Replicas[1].Index
+
+		var res core.OpResult
+		var putErr error
+		d.Sim.Spawn("crasher", func(p *sim.Proc) {
+			p.Sleep(off)
+			d.Nodes[victim].Crash()
+		})
+		d.Sim.Spawn("driver", func(p *sim.Proc) {
+			defer d.Sim.Stop()
+			res, putErr = d.Clients[0].Put(p, key, "survivor", 4096)
+			p.Sleep(300 * time.Millisecond) // detection, handoff, convergence
+		})
+		if err := d.Sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if putErr != nil {
+			t.Errorf("offset %v: put failed: %v", off, putErr)
+			d.Close()
+			continue
+		}
+		// Every current put participant holds exactly the acked version.
+		v := d.Service.View(part)
+		for _, r := range v.PutParticipants() {
+			if r.Index == victim {
+				continue // may still be rejoining
+			}
+			if v.Handoff != nil && r.Index == v.Handoff.Index && res.Retries == 0 {
+				// A put that committed before the crash was detected is
+				// legitimately absent from the stand-in: the handoff
+				// directory covers only post-failure writes (§4.4).
+				continue
+			}
+			obj, ok := d.Nodes[r.Index].Store().Peek(key)
+			if !ok {
+				// The handoff keeps post-failure writes in its directory.
+				for _, hobj := range d.Nodes[r.Index].Store().HandoffObjects() {
+					if hobj.Key == key {
+						obj, ok = hobj, true
+						break
+					}
+				}
+			}
+			if !ok || obj.Version.PrimarySeq != res.Version {
+				got := uint64(0)
+				if ok {
+					got = obj.Version.PrimarySeq
+				}
+				t.Errorf("offset %v: node %d holds version %d, acked %d (retries=%d)",
+					off, r.Index, got, res.Version, res.Retries)
+			}
+		}
+		d.Close()
+	}
+}
+
+// TestRecoveryUnderPacketLoss runs the §4.4 failure/handoff/rejoin cycle
+// with lossy access links — the first real user of the fabric's
+// LossRate — and requires full convergence anyway: the controller's
+// view resync and the recovery protocol's fetch retries must absorb the
+// drops.
+func TestRecoveryUnderPacketLoss(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 5
+	opts.Heartbeat = ms(100)
+	opts.OpTimeout = ms(400)
+	opts.RetryWait = ms(100)
+	opts.RetryMaxWait = ms(400)
+	opts.MaxRetries = 8
+	d := NewNICE(opts)
+	if err := d.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	const part = 0
+	view := d.Service.View(part)
+	victim := view.Replicas[1].Index
+	peer := view.Replicas[2].Index
+	keys := d.keysInPartition(part, 15)
+	before := d.Net.Drops()
+
+	d.Sim.Spawn("driver", func(p *sim.Proc) {
+		defer d.Sim.Stop()
+		c := d.Clients[0]
+		for _, k := range keys[:8] {
+			if _, err := c.Put(p, k, "pre", 1024); err != nil {
+				t.Errorf("seed put %s: %v", k, err)
+				return
+			}
+		}
+		// Drop a fifth of everything the victim and one surviving peer
+		// send or receive, through failure, handoff and rejoin.
+		d.NodeLinks[victim].SetLossRate(0.2)
+		d.NodeLinks[peer].SetLossRate(0.2)
+		d.Nodes[victim].Crash()
+		p.Sleep(1500 * time.Millisecond) // detection + handoff under loss
+		for _, k := range keys[8:] {
+			if _, err := c.Put(p, k, "during", 1024); err != nil {
+				t.Errorf("put during outage %s: %v", k, err)
+			}
+		}
+		d.Nodes[victim].Restart()
+		p.Sleep(3 * time.Second) // recovery fetches retried through the loss
+		d.NodeLinks[victim].SetLossRate(0)
+		d.NodeLinks[peer].SetLossRate(0)
+		// Clean tail: long enough for a node falsely failed during the
+		// lossy window to be ordered back through a whole rejoin cycle.
+		p.Sleep(5 * time.Second)
+	})
+	if err := d.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := d.Net.Drops(); got <= before {
+		t.Errorf("loss rate never dropped a packet (drops %d -> %d)", before, got)
+	}
+	v := d.Service.View(part)
+	if !v.HasReplica(victim) || v.Handoff != nil || v.Recovering != nil {
+		t.Fatalf("view not healthy after lossy recovery: %+v", v)
+	}
+	missing := 0
+	for _, k := range keys {
+		if _, ok := d.Nodes[victim].Store().Peek(k); !ok {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("victim missing %d/%d objects after recovery under loss", missing, len(keys))
+	}
+	d.Close()
+}
+
+// TestDeadPartitionFailsTyped kills every replica of one partition and
+// checks the client surfaces a typed *core.OpError (wrapping
+// core.ErrOpFailed) after its bounded retry loop instead of blocking
+// forever — the satellite fix for the once-unbounded get retry.
+func TestDeadPartitionFailsTyped(t *testing.T) {
+	opts := chaosOptions(7)
+	opts.MaxRetries = 3
+	d := NewNICE(opts)
+	if err := d.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	const part = 0
+	key := d.keysInPartition(part, 1)[0]
+
+	d.Sim.Spawn("driver", func(p *sim.Proc) {
+		defer d.Sim.Stop()
+		c := d.Clients[0]
+		if _, err := c.Put(p, key, "doomed", 512); err != nil {
+			t.Errorf("seed put: %v", err)
+			return
+		}
+		for _, r := range d.Service.View(part).Replicas {
+			d.Nodes[r.Index].Crash()
+		}
+		_, err := c.Get(p, key)
+		var opErr *core.OpError
+		if !errors.As(err, &opErr) || !errors.Is(err, core.ErrOpFailed) {
+			t.Errorf("get against dead partition: got %v, want *core.OpError wrapping ErrOpFailed", err)
+			return
+		}
+		if opErr.Op != "get" || opErr.Attempts != opts.MaxRetries+1 {
+			t.Errorf("OpError = %+v, want op=get attempts=%d", opErr, opts.MaxRetries+1)
+		}
+		if opErr.Error() == "" || fmt.Sprint(opErr) == "" {
+			t.Error("empty error text")
+		}
+		_, err = c.Put(p, key, "also-doomed", 512)
+		if !errors.As(err, &opErr) || opErr.Op != "put" {
+			t.Errorf("put against dead partition: got %v, want typed put OpError", err)
+		}
+	})
+	if err := d.Sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+}

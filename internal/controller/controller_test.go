@@ -322,7 +322,7 @@ func TestRejoinTwoPhases(t *testing.T) {
 	home := rg.svc.homePartitions(victim)
 	for _, p := range home {
 		v := rg.svc.View(p)
-		if v.Recovering == nil || v.Recovering.Index != victim {
+		if !v.IsRecovering(victim) {
 			t.Fatalf("partition %d missing recovering node", p)
 		}
 		if v.HasReplica(victim) {

@@ -250,6 +250,16 @@ func (svc *Service) listen(p *sim.Proc) {
 			n := svc.nodes[m.Node]
 			n.lastHB = svc.s.Now()
 			n.load = m.Load
+			switch n.status {
+			case nodeDown:
+				// A zombie: alive but marked failed (its RejoinRequest was
+				// lost, or a failure verdict raced its restart). Its switch
+				// rules are gone so it serves nothing; order it back through
+				// the rejoin procedure rather than leaving it stranded.
+				svc.sendToNode(n.addr, &RejoinOrder{}, ctrlMsgSize)
+			case nodeUp:
+				svc.resyncViews(m.Node, m.Epochs)
+			}
 		case *FailureReport:
 			svc.stats.PeerReports++
 			suspect := svc.nodes[m.Suspect]
@@ -323,8 +333,8 @@ func (svc *Service) fail(idx int) {
 				i--
 			}
 		}
-		if v.Recovering != nil && v.Recovering.Index == idx {
-			v.Recovering = nil
+		if v.IsRecovering(idx) {
+			v.Recovering = removeAddr(v.Recovering, idx)
 			changed = true
 		}
 		if !changed {
@@ -351,6 +361,18 @@ func (svc *Service) fail(idx int) {
 	}
 }
 
+// removeAddr filters node idx out of a list, returning nil when the
+// list empties so `== nil` health checks keep working.
+func removeAddr(list []NodeAddr, idx int) []NodeAddr {
+	var out []NodeAddr
+	for _, a := range list {
+		if a.Index != idx {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // pickHandoff returns the lowest-indexed up node outside the replica
 // set, or nil when none exists.
 func (svc *Service) pickHandoff(v *PartitionView) *NodeAddr {
@@ -361,7 +383,7 @@ func (svc *Service) pickHandoff(v *PartitionView) *NodeAddr {
 		if v.HasReplica(n.addr.Index) {
 			continue
 		}
-		if v.Recovering != nil && v.Recovering.Index == n.addr.Index {
+		if v.IsRecovering(n.addr.Index) {
 			continue
 		}
 		a := n.addr
@@ -387,11 +409,67 @@ func (svc *Service) announce(v *PartitionView, failed int) {
 	}
 }
 
+// resyncViews repairs a node whose membership state went stale — a
+// PartitionUpdate lost on a faulty control path otherwise leaves the node
+// serving under an obsolete replica set (or holding a view it was dropped
+// from) forever. Every view whose authoritative epoch exceeds what the
+// node reported is pushed again.
+func (svc *Service) resyncViews(idx int, epochs map[int]uint64) {
+	if epochs == nil {
+		return // legacy heartbeat without view state
+	}
+	n := svc.nodes[idx]
+	for _, v := range svc.views {
+		reported := epochs[v.Partition]
+		if reported >= v.Epoch {
+			continue
+		}
+		serves := false
+		for _, r := range v.PutParticipants() {
+			if r.Index == idx {
+				serves = true
+				break
+			}
+		}
+		switch {
+		case serves && v.Handoff != nil && v.Handoff.Index == idx:
+			svc.sendToNode(n.addr, &HandoffAssign{View: v.Clone()}, sizeOfView(v))
+		case serves:
+			svc.sendToNode(n.addr, &PartitionUpdate{View: v.Clone()}, sizeOfView(v))
+		case reported > 0:
+			// The node holds a stale view of a partition it no longer
+			// serves; the fresh view makes it drop out cleanly.
+			svc.sendToNode(n.addr, &PartitionUpdate{View: v.Clone()}, sizeOfView(v))
+		}
+	}
+}
+
 // handleRejoin makes a recovered node put-visible (phase one of §4.4
-// node recovery) and tells it where to fetch what it missed.
+// node recovery) and tells it where to fetch what it missed. It is
+// idempotent: a node retrying a lost RejoinRequest (status already
+// Recovering) gets its RejoinInfo rebuilt and resent without a second
+// round of epoch bumps.
 func (svc *Service) handleRejoin(idx int) {
 	n := svc.nodes[idx]
-	if n.status != nodeDown {
+	switch n.status {
+	case nodeUp:
+		return // duplicate of a request that already completed
+	case nodeRecovering:
+		n.lastHB = svc.s.Now()
+		info := &RejoinInfo{}
+		for _, part := range svc.homePartitions(idx) {
+			v := svc.views[part]
+			if !v.IsRecovering(idx) {
+				continue
+			}
+			info.Views = append(info.Views, v.Clone())
+			var h NodeAddr
+			if v.Handoff != nil {
+				h = *v.Handoff
+			}
+			info.Handoffs = append(info.Handoffs, h)
+		}
+		svc.sendToNode(n.addr, info, ctrlMsgSize+len(info.Views)*32)
 		return
 	}
 	n.status = nodeRecovering
@@ -402,11 +480,13 @@ func (svc *Service) handleRejoin(idx int) {
 	info := &RejoinInfo{}
 	for _, part := range svc.homePartitions(idx) {
 		v := svc.views[part]
-		if v.HasReplica(idx) {
+		if v.HasReplica(idx) || v.IsRecovering(idx) {
 			continue // never left (failed before any view update?)
 		}
-		a := n.addr
-		v.Recovering = &a
+		// Appending (not replacing) lets several nodes be mid-rejoin on
+		// one partition when failures overlap; each completes on its own
+		// ConsistentNotice.
+		v.Recovering = append(v.Recovering, n.addr)
 		v.Epoch++
 		svc.installPartition(part)
 		svc.announce(v, -1)
@@ -433,11 +513,15 @@ func (svc *Service) handleConsistent(idx int) {
 	svc.tracef("%v: node %d consistent (get-visible)", svc.s.Now(), idx)
 
 	for part, v := range svc.views {
-		if v.Recovering == nil || v.Recovering.Index != idx {
+		if !v.IsRecovering(idx) {
 			continue
 		}
+		v.Recovering = removeAddr(v.Recovering, idx)
+		// The stand-in keeps covering the partition until the last
+		// rejoiner completes; releasing it on the first completion would
+		// shrink the serving set while other members are still syncing.
 		var released *NodeAddr
-		if v.Handoff != nil {
+		if v.Handoff != nil && len(v.Recovering) == 0 {
 			for i := range v.Replicas {
 				if v.Replicas[i].Index == v.Handoff.Index {
 					v.Replicas = append(v.Replicas[:i], v.Replicas[i+1:]...)
@@ -448,7 +532,6 @@ func (svc *Service) handleConsistent(idx int) {
 			v.Handoff = nil
 		}
 		v.Replicas = append(v.Replicas, n.addr)
-		v.Recovering = nil
 		v.Epoch++
 		svc.installPartition(part)
 		svc.announce(v, -1)
@@ -470,11 +553,11 @@ func (svc *Service) AddReplica(part, idx int) error {
 		return fmt.Errorf("controller: node %d is not up", idx)
 	}
 	v := svc.views[part]
-	if v.HasReplica(idx) || (v.Recovering != nil && v.Recovering.Index == idx) {
+	if v.HasReplica(idx) || v.IsRecovering(idx) {
 		return fmt.Errorf("controller: node %d already serves partition %d", idx, part)
 	}
 	a := n.addr
-	v.Recovering = &a
+	v.Recovering = append(v.Recovering, a)
 	v.Epoch++
 	svc.installPartition(part)
 	svc.announce(v, -1)

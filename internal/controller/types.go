@@ -36,9 +36,11 @@ type PartitionView struct {
 	// Handoff is the stand-in node (also present in Replicas), nil when
 	// the set is healthy.
 	Handoff *NodeAddr
-	// Recovering is a rejoining node that is put-visible (in the
+	// Recovering are rejoining nodes that are put-visible (in the
 	// multicast group, participating in 2PC) but not yet get-visible.
-	Recovering *NodeAddr
+	// More than one node can be mid-rejoin on the same partition when
+	// failures overlap; each completes independently.
+	Recovering []NodeAddr
 	// GroupIP is the partition's multicast group address.
 	GroupIP netsim.IP
 }
@@ -47,14 +49,22 @@ type PartitionView struct {
 func (v *PartitionView) Primary() NodeAddr { return v.Replicas[0] }
 
 // PutParticipants returns every node that must take part in a put: the
-// replicas plus a recovering node, primary first.
+// replicas plus any recovering nodes, primary first.
 func (v *PartitionView) PutParticipants() []NodeAddr {
-	out := make([]NodeAddr, len(v.Replicas), len(v.Replicas)+1)
+	out := make([]NodeAddr, len(v.Replicas), len(v.Replicas)+len(v.Recovering))
 	copy(out, v.Replicas)
-	if v.Recovering != nil {
-		out = append(out, *v.Recovering)
-	}
+	out = append(out, v.Recovering...)
 	return out
+}
+
+// IsRecovering reports whether node idx is mid-rejoin on this partition.
+func (v *PartitionView) IsRecovering(idx int) bool {
+	for _, r := range v.Recovering {
+		if r.Index == idx {
+			return true
+		}
+	}
+	return false
 }
 
 // HasReplica reports whether node idx is in the replica list.
@@ -77,8 +87,7 @@ func (v *PartitionView) Clone() *PartitionView {
 		c.Handoff = &h
 	}
 	if v.Recovering != nil {
-		r := *v.Recovering
-		c.Recovering = &r
+		c.Recovering = append([]NodeAddr(nil), v.Recovering...)
 	}
 	return &c
 }
@@ -92,10 +101,14 @@ type LoadStats struct {
 
 // Node-to-controller messages (UDP to the metadata service port).
 
-// Heartbeat is the periodic liveness and load report.
+// Heartbeat is the periodic liveness and load report. Epochs carries the
+// epoch of every view the node holds, letting the controller detect and
+// repair nodes whose membership state went stale (a PartitionUpdate lost
+// on a faulty control path).
 type Heartbeat struct {
-	Node int
-	Load LoadStats
+	Node   int
+	Load   LoadStats
+	Epochs map[int]uint64
 }
 
 // FailureReport is a peer accusation: the reporter timed out twice on the
@@ -136,6 +149,13 @@ type HandoffAssign struct {
 type HandoffRelease struct {
 	Partition int
 }
+
+// RejoinOrder tells a node the controller believes it is down (its
+// heartbeat arrived while it was marked failed): the node must restart
+// its rejoin procedure. Without this, a node whose RejoinRequest was lost
+// — or that was failed by a verdict racing its restart — would serve
+// stale state forever.
+type RejoinOrder struct{}
 
 // RejoinInfo answers a RejoinRequest: which partitions to recover and who
 // holds the handoff data for each.

@@ -20,14 +20,18 @@ type ClientConfig struct {
 	R                  int    // system replication level
 	// QuorumK, when non-zero, lets the put multicast return once any K
 	// replicas hold the data (any-k transport, §5).
-	QuorumK    int
-	OpTimeout  sim.Time
-	RetryWait  sim.Time // back-off before retrying a failed put
-	MaxRetries int
+	QuorumK   int
+	OpTimeout sim.Time
+	// RetryWait is the base back-off before the first retry; subsequent
+	// attempts double it up to RetryMaxWait, with ±25% deterministic
+	// jitter so a fleet of clients does not retry in lockstep.
+	RetryWait    sim.Time
+	RetryMaxWait sim.Time // back-off cap (0 = 8x RetryWait)
+	MaxRetries   int
 }
 
 // DefaultClientConfig fills the protocol timing the evaluation uses:
-// 2-second retry back-off (§6.6).
+// 2-second base retry back-off (§6.6).
 func DefaultClientConfig() ClientConfig {
 	return ClientConfig{
 		DataPort:   7000,
@@ -45,10 +49,29 @@ type OpResult struct {
 	Found   bool // gets: object existed
 	Value   any  // gets: the object value
 	Size    int
+	Version uint64 // committed version (primary sequence) acked/observed
 }
 
 // ErrOpFailed is returned when an operation exhausted its retries.
 var ErrOpFailed = fmt.Errorf("core: operation failed after retries")
+
+// OpError describes an operation that exhausted its retry budget: which
+// op against which key, how many attempts were made, and what the final
+// attempt observed. It unwraps to ErrOpFailed, so existing
+// errors.Is(err, ErrOpFailed) checks keep working.
+type OpError struct {
+	Op       string // "put" or "get"
+	Key      string
+	Attempts int
+	Last     string // the final attempt's failure ("timeout" or a node error)
+}
+
+func (e *OpError) Error() string {
+	return fmt.Sprintf("core: %s %q failed after %d attempts: %s", e.Op, e.Key, e.Attempts, e.Last)
+}
+
+// Unwrap makes OpError match ErrOpFailed under errors.Is.
+func (e *OpError) Unwrap() error { return ErrOpFailed }
 
 // Client is a NICEKV client endpoint.
 type Client struct {
@@ -121,23 +144,49 @@ func (c *Client) dispatch(data any) {
 // IP returns the client's address.
 func (c *Client) IP() netsim.IP { return c.stack.IP() }
 
+// backoff sleeps before retry attempt (0-based): RetryWait doubled per
+// attempt up to RetryMaxWait, jittered ±25% from the simulation RNG —
+// deterministic per seed, decorrelated across clients.
+func (c *Client) backoff(p *sim.Proc, attempt int) {
+	d := c.cfg.RetryWait
+	if d <= 0 {
+		return
+	}
+	maxWait := c.cfg.RetryMaxWait
+	if maxWait <= 0 {
+		maxWait = 8 * d
+	}
+	for i := 0; i < attempt && d < maxWait; i++ {
+		d *= 2
+	}
+	if d > maxWait {
+		d = maxWait
+	}
+	j := 0.75 + 0.5*c.stack.Sim().Rand().Float64()
+	p.Sleep(sim.Time(float64(d) * j))
+}
+
 // Put stores key=value (size payload bytes), multicasting the object to
 // the replica set in a single network-level operation and waiting for the
 // primary's commit acknowledgment. Failed attempts (a replica died
-// mid-put) are retried after RetryWait, as in §4.4/§6.6.
+// mid-put) are retried with capped exponential back-off, as in §4.4/§6.6.
+// Every attempt reuses the same ClientSeq: the retry is the same logical
+// put, which the replicas deduplicate, so a put retried after a partial
+// commit cannot apply twice.
 func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, error) {
 	start := p.Now()
+	c.seq++
+	id := c.seq // c.seq advances under concurrent operations
+	req := &PutRequest{
+		Key:        key,
+		Value:      value,
+		Size:       size,
+		Client:     c.stack.IP(),
+		ClientPort: c.cfg.ReplyPort,
+		ClientSeq:  id,
+	}
+	last := "timeout"
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		c.seq++
-		id := c.seq // c.seq advances under concurrent operations
-		req := &PutRequest{
-			Key:        key,
-			Value:      value,
-			Size:       size,
-			Client:     c.stack.IP(),
-			ClientPort: c.cfg.ReplyPort,
-			ClientSeq:  id,
-		}
 		f := sim.NewFuture[any](c.stack.Sim())
 		c.pending[id] = f
 
@@ -150,35 +199,43 @@ func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, er
 			K:         c.cfg.QuorumK,
 			Timeout:   c.cfg.OpTimeout,
 		})
-		if err == nil {
-			if raw, ok := f.WaitTimeout(p, c.cfg.OpTimeout); ok {
-				if rep := raw.(*PutReply); rep.OK {
-					return OpResult{Latency: p.Now() - start, Retries: attempt, Size: size}, nil
-				}
+		if err != nil {
+			last = err.Error()
+		} else if raw, ok := f.WaitTimeout(p, c.cfg.OpTimeout); ok {
+			rep := raw.(*PutReply)
+			if rep.OK {
+				return OpResult{Latency: p.Now() - start, Retries: attempt, Size: size, Version: rep.Ver}, nil
 			}
+			last = rep.Err
+		} else {
+			last = "timeout"
 		}
 		delete(c.pending, id)
 		if attempt < c.cfg.MaxRetries {
-			p.Sleep(c.cfg.RetryWait)
+			c.backoff(p, attempt)
 		}
 	}
-	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries}, ErrOpFailed
+	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries},
+		&OpError{Op: "put", Key: key, Attempts: c.cfg.MaxRetries + 1, Last: last}
 }
 
 // Get reads key through the unicast vring: one UDP datagram out, the
 // object back on the reply stream. Timeouts retry against the (possibly
-// re-mapped) vring.
+// re-mapped) vring with the same back-off as puts; a partition that stays
+// dead surfaces a typed *OpError after MaxRetries+1 attempts rather than
+// blocking forever. The request ID is stable across attempts, so a late
+// reply to an earlier attempt satisfies the operation.
 func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
 	start := p.Now()
+	c.seq++
+	id := c.seq
+	req := &GetRequest{
+		Key:        key,
+		ReqID:      id,
+		Client:     c.stack.IP(),
+		ClientPort: c.cfg.ReplyPort,
+	}
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		c.seq++
-		id := c.seq
-		req := &GetRequest{
-			Key:        key,
-			ReqID:      id,
-			Client:     c.stack.IP(),
-			ClientPort: c.cfg.ReplyPort,
-		}
 		f := sim.NewFuture[any](c.stack.Sim())
 		c.pending[id] = f
 		c.udp.SendTo(c.cfg.Unicast.AddrOfKey(key), c.cfg.DataPort, req, getReqSize)
@@ -190,12 +247,14 @@ func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
 				Found:   rep.Found,
 				Value:   rep.Value,
 				Size:    rep.Size,
+				Version: rep.Ver,
 			}, nil
 		}
 		delete(c.pending, id)
 		if attempt < c.cfg.MaxRetries {
-			p.Sleep(c.cfg.RetryWait)
+			c.backoff(p, attempt)
 		}
 	}
-	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries}, ErrOpFailed
+	return OpResult{Latency: p.Now() - start, Retries: c.cfg.MaxRetries},
+		&OpError{Op: "get", Key: key, Attempts: c.cfg.MaxRetries + 1, Last: "timeout"}
 }

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/sim"
+import (
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+)
 
 // handleGet serves a client read. The switch already chose this replica
 // (primary by default, or per the source-division load-balancing rules),
@@ -10,47 +13,96 @@ import "repro/internal/sim"
 func (n *Node) handleGet(p *sim.Proc, req *GetRequest, forwarded bool) {
 	n.stats.Gets++
 	n.cpu.Use(p, n.cfg.CPUPerOp)
+	if n.recovering {
+		// Put-visible only (§4.4): the store may still miss writes
+		// acknowledged while this node was down, so neither a hit nor a
+		// miss can be trusted. Stay silent; the client retries elsewhere.
+		n.stats.GetsHeld++
+		return
+	}
 	part := n.cfg.Space.PartitionOf(req.Key)
 
-	if n.handoffFor[part] && !forwarded {
-		if obj, ok := n.store.GetHandoff(p, req.Key); ok {
-			n.pool.Send(req.Client, req.ClientPort,
-				&GetReply{ReqID: req.ReqID, Found: true, Value: obj.Value, Size: obj.Size},
-				obj.Size+replyOverhead)
+	if n.handoffFor[part] {
+		// A directory hit is authoritative only for genuine post-failure
+		// writes; an entry installed by a dedup re-commit may predate the
+		// stand-in tenure (and a newer pre-failure version may exist), so
+		// it falls through to the forward path like a miss.
+		if obj, ok := n.store.GetHandoff(p, req.Key); ok && !n.staleHandoff[part][req.Key] {
+			if Debug {
+				dbg("%v node%d handoff-hit %s ver=%d", p.Now(), n.cfg.Addr.Index, req.Key, obj.Version.PrimarySeq)
+			}
+			n.sendGetReply(req, obj)
 			return
 		}
 		v := n.views[part]
-		if v == nil || v.Primary().Index == n.cfg.Addr.Index {
-			// No primary to forward to; answer from the main store.
-			n.replyFromStore(p, req)
+		if !forwarded && v != nil && v.Primary().Index != n.cfg.Addr.Index {
+			pr := v.Primary()
+			n.stats.GetForwards++
+			n.data.SendTo(pr.IP, pr.DataPort, &ForwardedGet{Req: *req}, getReqSize)
 			return
 		}
-		pr := v.Primary()
-		n.stats.GetForwards++
-		n.data.SendTo(pr.IP, pr.DataPort, &ForwardedGet{Req: *req}, getReqSize)
+		// Handoff-led partition (no live proper primary to forward to):
+		// serve a main-store hit if this node also holds the key as a
+		// member, but never claim not-found — the handoff directory covers
+		// only writes issued since the failure, so silence (the client
+		// retries once membership settles) beats a lie.
+		if obj, ok := n.store.Get(p, req.Key); ok {
+			n.sendGetReply(req, obj)
+			return
+		}
+		n.stats.GetsHeld++
 		return
-	}
-	if forwarded && n.handoffFor[part] {
-		// Forward arrived at a handoff-led partition (everyone else is
-		// gone): answer from the handoff directory as a last resort.
-		if obj, ok := n.store.GetHandoff(p, req.Key); ok {
-			n.pool.Send(req.Client, req.ClientPort,
-				&GetReply{ReqID: req.ReqID, Found: true, Value: obj.Value, Size: obj.Size},
-				obj.Size+replyOverhead)
-			return
-		}
 	}
 	n.replyFromStore(p, req)
 }
 
+// sendGetReply answers a get hit, carrying the committed version.
+func (n *Node) sendGetReply(req *GetRequest, obj *kvstore.Object) {
+	n.pool.Send(req.Client, req.ClientPort,
+		&GetReply{ReqID: req.ReqID, Found: true, Value: obj.Value, Size: obj.Size, Ver: obj.Version.PrimarySeq},
+		obj.Size+replyOverhead)
+}
+
 // replyFromStore answers a get from the main namespace.
 func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest) {
+	part := n.cfg.Space.PartitionOf(req.Key)
+	if n.views[part] == nil {
+		// Not (or no longer) a member of this partition — stale client
+		// routing after a view change. The store stopped receiving the
+		// partition's writes, so any answer could be stale or a false
+		// miss. Stay silent; the client retries a current member.
+		n.stats.GetsHeld++
+		return
+	}
+	if n.resolving[part] && n.store.HasLog(req.Key) {
+		// The key's fate is being decided by lock resolution: answering now
+		// could serve a version about to be superseded by a commit the old
+		// primary already acknowledged. Stay silent; the client's retry
+		// lands after resolution.
+		n.stats.GetsHeld++
+		return
+	}
+	if n.syncing[part] {
+		// Freshly promoted any-k primary: the old primary may have
+		// acknowledged commits this node never saw. Answer only after the
+		// member-range sync finishes.
+		n.stats.GetsHeld++
+		return
+	}
 	obj, ok := n.store.Get(p, req.Key)
+	if Debug {
+		ver := uint64(0)
+		if ok {
+			ver = obj.Version.PrimarySeq
+		}
+		dbg("%v node%d replyFromStore %s found=%v ver=%d", p.Now(), n.cfg.Addr.Index, req.Key, ok, ver)
+	}
 	rep := &GetReply{ReqID: req.ReqID, Found: ok}
 	size := replyOverhead
 	if ok {
 		rep.Value = obj.Value
 		rep.Size = obj.Size
+		rep.Ver = obj.Version.PrimarySeq
 		size += obj.Size
 	}
 	n.pool.Send(req.Client, req.ClientPort, rep, size)

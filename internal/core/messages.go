@@ -55,6 +55,11 @@ type TsMsg struct {
 	Key   string
 	Ts    kvstore.Timestamp
 	Abort bool // primary aborted the operation; release without applying
+	// Dup marks the dedup path's re-multicast of an already-committed
+	// timestamp: the version may predate the current membership, so a
+	// handoff stand-in must not treat the install as a post-failure write
+	// it can serve authoritatively (get.go).
+	Dup bool
 }
 
 // Ack2 is a secondary's second-phase acknowledgment: lock released, log
@@ -70,6 +75,9 @@ type PutReply struct {
 	ReqID uint64
 	OK    bool
 	Err   string
+	// Ver is the committed version's primary sequence number; the
+	// consistency checker orders acknowledged puts by it.
+	Ver uint64
 }
 
 // GetRequest is the client's read, sent as one UDP datagram to the
@@ -87,6 +95,10 @@ type GetReply struct {
 	Found bool
 	Value any
 	Size  int
+	// Ver is the returned object's committed version (primary sequence);
+	// switch-cache replies carry it too, so stale cache reads are
+	// checkable.
+	Ver uint64
 }
 
 // ForwardedGet is a handoff node passing a get it cannot serve to the
@@ -136,10 +148,15 @@ type LockInfo struct {
 	Obj    *kvstore.Object   // the prepared object from the WAL
 }
 
-// LockQueryReply lists a replica's locked objects.
+// LockQueryReply lists a replica's locked objects. MaxSeq is the
+// replica's primary logical clock: the querying (newly promoted) primary
+// advances past the maximum, so its future commits dominate every commit
+// the old primary issued — even ones this node never witnessed (possible
+// under any-k puts with a lossy network).
 type LockQueryReply struct {
 	From   int
 	Locked []LockInfo
+	MaxSeq uint64
 }
 
 // CommitOrder tells replicas to commit a locked object with the given

@@ -57,6 +57,11 @@ type NodeStats struct {
 	GetForwards int64 // handoff misses forwarded to the primary
 	Reports     int64 // peer-failure reports sent
 	Resolutions int64 // locked objects resolved after promotion
+	DupPuts     int64 // retried puts answered from the dedup record
+	GetsHeld    int64 // gets not answered: no consistent copy reachable
+	// RecoveryFetchFails counts sync rounds that left at least one view
+	// member unanswered (the fetch is retried until every member replies).
+	RecoveryFetchFails int64
 }
 
 // putState tracks one in-flight put at a participant.
@@ -66,6 +71,12 @@ type putState struct {
 	ack2 map[int]bool
 	sig  *sim.Queue[struct{}]
 	ts   *sim.Future[*TsMsg]
+	// gen is the node's restart generation at registration. A handler
+	// that blocked across a crash/restart observes a newer generation and
+	// abandons: its lock and put state were wiped by Restart, so touching
+	// the store would corrupt the reborn node (e.g. unlocking a lock a
+	// post-restart put now holds).
+	gen int
 }
 
 // orphanState buffers protocol messages that raced ahead of the local
@@ -97,26 +108,63 @@ type Node struct {
 	primarySeq uint64
 	stats      NodeStats
 	recovering bool
+	rejoined   bool          // RejoinInfo received since the last Restart
+	restartGen int           // invalidates older rejoin-retry processes
 	resolving  map[int]bool  // partitions with a resolution in flight
+	syncing    map[int]bool  // promoted any-k primary still range-syncing
 	cpu        *sim.Resource // per-node serial processing
+
+	// staleHandoff marks handoff-directory keys installed by a dedup
+	// re-commit (TsMsg.Dup): the version may predate this node's stand-in
+	// tenure, so a directory hit on such a key is forwarded to the
+	// primary instead of served (get.go). Cleared when a genuine commit
+	// supersedes the entry or the handoff stint ends.
+	staleHandoff map[int]map[string]bool
+
+	// committed remembers the versions of recently committed puts by
+	// client quadruplet, so a retry of an already-committed put converges
+	// on the original version instead of re-running 2PC (which could roll
+	// a newer value back). Bounded FIFO; an evicted entry only costs the
+	// retry a fresh — still convergent — protocol round.
+	committed    map[reqKey]kvstore.Timestamp
+	committedLog []reqKey
 }
+
+// committedCap bounds the put-dedup memory.
+const committedCap = 4096
 
 // NewNode builds a node on a host's transport stack.
 func NewNode(stack *transport.Stack, cfg NodeConfig) *Node {
 	return &Node{
-		cfg:        cfg,
-		stack:      stack,
-		s:          stack.Sim(),
-		store:      kvstore.New(stack.Sim(), cfg.Disk),
-		pool:       newConnPool(stack),
-		views:      make(map[int]*controller.PartitionView),
-		handoffFor: make(map[int]bool),
-		joined:     make(map[netsim.IP]bool),
-		puts:       make(map[reqKey]*putState),
-		orphans:    make(map[reqKey]*orphanState),
-		resolving:  make(map[int]bool),
-		cpu:        sim.NewResource(stack.Sim()),
+		cfg:          cfg,
+		stack:        stack,
+		s:            stack.Sim(),
+		store:        kvstore.New(stack.Sim(), cfg.Disk),
+		pool:         newConnPool(stack),
+		views:        make(map[int]*controller.PartitionView),
+		handoffFor:   make(map[int]bool),
+		joined:       make(map[netsim.IP]bool),
+		puts:         make(map[reqKey]*putState),
+		orphans:      make(map[reqKey]*orphanState),
+		resolving:    make(map[int]bool),
+		syncing:      make(map[int]bool),
+		cpu:          sim.NewResource(stack.Sim()),
+		committed:    make(map[reqKey]kvstore.Timestamp),
+		staleHandoff: make(map[int]map[string]bool),
 	}
+}
+
+// recordCommit remembers a committed put for retry deduplication.
+func (n *Node) recordCommit(ts kvstore.Timestamp) {
+	k := reqKey{ts.Client, ts.ClientSeq}
+	if _, ok := n.committed[k]; !ok {
+		n.committedLog = append(n.committedLog, k)
+		if len(n.committedLog) > committedCap {
+			delete(n.committed, n.committedLog[0])
+			n.committedLog = n.committedLog[1:]
+		}
+	}
+	n.committed[k] = ts
 }
 
 // Store exposes the local engine (tests and experiments inspect it).
@@ -177,12 +225,17 @@ func (n *Node) heartbeatLoop(p *sim.Proc) {
 		p.Sleep(n.cfg.HeartbeatEvery)
 		st := n.store.Stats()
 		hs := n.stack.Host().Stats()
+		ep := make(map[int]uint64, len(n.views))
+		for part, v := range n.views {
+			ep[part] = v.Epoch
+		}
 		n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.Heartbeat{
 			Node: n.cfg.Addr.Index,
 			Load: controller.LoadStats{
 				Puts: st.Puts, Gets: st.Gets,
 				BytesIn: hs.BytesRecv, BytesOut: hs.BytesSent,
 			},
+			Epochs: ep,
 		}, ctrlMsgSize)
 	}
 }
@@ -203,10 +256,16 @@ func (n *Node) ctrlLoop(p *sim.Proc) {
 			n.releaseHandoff(m.Partition)
 		case *controller.RejoinInfo:
 			info := m
+			n.rejoined = true
 			n.s.Spawn(n.name("recover"), func(p *sim.Proc) { n.recover(p, info) })
+		case *controller.RejoinOrder:
+			// The controller saw our heartbeat while it thinks we are down
+			// (a missed RejoinRequest, or a failure verdict that raced our
+			// restart): start the rejoin procedure over.
+			n.Restart()
 		case *controller.ExpandAssign:
-			view, source := m.View, m.Source
-			n.s.Spawn(n.name("expand"), func(p *sim.Proc) { n.expand(p, view, source) })
+			view := m.View
+			n.s.Spawn(n.name("expand"), func(p *sim.Proc) { n.expand(p, view) })
 		case *controller.CacheFetchRequest:
 			req := m
 			n.s.Spawn(n.name("cachefetch"), func(p *sim.Proc) { n.handleCacheFetch(p, req) })
@@ -232,13 +291,41 @@ func (n *Node) applyView(v *controller.PartitionView, asHandoff bool) {
 		// We were dropped from this partition (failure of self as seen by
 		// the controller, or handoff release through a fresh view).
 		delete(n.views, v.Partition)
-		n.handoffFor[v.Partition] = false
+		n.dropHandoff(v.Partition)
 		n.leaveGroup(v.GroupIP)
 		return
 	}
 	n.views[v.Partition] = v
+	if Debug {
+		dbg("node%d applyView part=%d epoch=%d handoff=%v members=%v", me, v.Partition, v.Epoch, asHandoff, v.PutParticipants())
+	}
+	adopted := false
 	if asHandoff {
 		n.handoffFor[v.Partition] = true
+	} else if n.handoffFor[v.Partition] {
+		// Promoted from stand-in to proper member: fold the handoff
+		// directory into the main namespace — its objects are committed,
+		// versioned writes — or subsequent commits would land in the
+		// wrong namespace and reads would miss them.
+		n.adoptHandoff(v.Partition)
+		adopted = true
+	}
+	if (old == nil || adopted) && !asHandoff && v.Epoch > 1 &&
+		!n.recovering && !n.syncing[v.Partition] {
+		// This node was placed into the replica set without the §4.4
+		// recovery or expansion protocol — cascading failures make the
+		// controller re-purpose a handoff stand-in as a plain member. Its
+		// store may miss anything committed before now, so sync the range
+		// from the surviving members; gets stay held until it lands
+		// (get.go). Bootstrap views (epoch 1) start empty everywhere and
+		// need no sync; a recovering node syncs in recover() instead.
+		part := v.Partition
+		n.syncing[part] = true
+		gen := n.restartGen
+		n.s.Spawn(n.name("membersync"), func(p *sim.Proc) {
+			defer func() { n.syncing[part] = false }()
+			n.syncPartition(p, part, func() bool { return gen != n.restartGen })
+		})
 	}
 	n.joinGroup(v.GroupIP)
 
@@ -259,9 +346,38 @@ func (n *Node) maybeResolve(part int) {
 		return
 	}
 	n.resolving[part] = true
+	gen := n.restartGen
+	syncAfter := n.cfg.QuorumK > 0 && !n.syncing[part]
+	if syncAfter {
+		// Any-k promotion: this node may never have seen commits the old
+		// primary acknowledged, so gets must be held from the instant of
+		// promotion — resolution can stall for seconds on unreachable
+		// peers, and a get served meanwhile would return a stale version.
+		// Puts can flow again once resolution clears; gets stay held until
+		// the range sync below lands (get.go).
+		n.syncing[part] = true
+	}
 	n.s.Spawn(n.name("resolve"), func(p *sim.Proc) {
 		defer func() { n.resolving[part] = false }()
-		n.resolveLocks(p, v)
+		n.resolveLocks(p, v, gen)
+		if !syncAfter {
+			return
+		}
+		if gen != n.restartGen {
+			n.syncing[part] = false
+			return
+		}
+		// The sync aborts on demotion or another restart.
+		n.s.Spawn(n.name("sync"), func(p *sim.Proc) {
+			defer func() { n.syncing[part] = false }()
+			n.syncPartition(p, part, func() bool {
+				if gen != n.restartGen {
+					return true
+				}
+				nv := n.views[part]
+				return nv == nil || nv.Primary().Index != n.cfg.Addr.Index
+			})
+		})
 	})
 }
 
@@ -285,14 +401,55 @@ func (n *Node) leaveGroup(g netsim.IP) {
 	}
 }
 
-// releaseHandoff drops handoff data for a partition whose owner is back.
-func (n *Node) releaseHandoff(part int) {
+// dropHandoff ends a handoff stint for a partition, deleting its
+// directory entries: leftovers would be served as fresh data if this
+// node is ever assigned the same partition's handoff again.
+func (n *Node) dropHandoff(part int) {
 	n.handoffFor[part] = false
+	delete(n.staleHandoff, part)
 	for _, obj := range n.store.HandoffObjects() {
 		if n.cfg.Space.PartitionOf(obj.Key) == part {
 			n.store.DeleteHandoff(obj.Key)
 		}
 	}
+}
+
+// markStaleHandoff flags a handoff-directory key as non-servable (its
+// install came from a dedup re-commit); clearStaleHandoff lifts the flag
+// when a genuine commit supersedes the entry.
+func (n *Node) markStaleHandoff(part int, key string) {
+	m := n.staleHandoff[part]
+	if m == nil {
+		m = make(map[string]bool)
+		n.staleHandoff[part] = m
+	}
+	m[key] = true
+}
+
+func (n *Node) clearStaleHandoff(part int, key string) {
+	if m := n.staleHandoff[part]; m != nil {
+		delete(m, key)
+	}
+}
+
+// adoptHandoff moves a partition's handoff objects into the main
+// namespace (versioned — stale copies are rejected) when this node turns
+// from stand-in into proper member.
+func (n *Node) adoptHandoff(part int) {
+	n.handoffFor[part] = false
+	delete(n.staleHandoff, part)
+	for _, obj := range n.store.HandoffObjects() {
+		if n.cfg.Space.PartitionOf(obj.Key) == part {
+			n.observeTs(obj.Version)
+			n.store.Apply(obj)
+			n.store.DeleteHandoff(obj.Key)
+		}
+	}
+}
+
+// releaseHandoff drops handoff data for a partition whose owner is back.
+func (n *Node) releaseHandoff(part int) {
+	n.dropHandoff(part)
 	// The controller's follow-up PartitionUpdate (without us) arrives
 	// separately and clears the view.
 	delete(n.views, part)
@@ -371,6 +528,7 @@ func (n *Node) registerPut(req *PutRequest) *putState {
 		ack2: make(map[int]bool),
 		sig:  sim.NewQueue[struct{}](n.s),
 		ts:   sim.NewFuture[*TsMsg](n.s),
+		gen:  n.restartGen,
 	}
 	k := req.key()
 	if o, ok := n.orphans[k]; ok {
@@ -435,6 +593,28 @@ func (n *Node) Restart() {
 		delete(n.joined, g)
 	}
 	n.views = make(map[int]*controller.PartitionView)
+	n.resolving = make(map[int]bool)
+	n.syncing = make(map[int]bool)
+	// A handoff stint ends with the crash: the directory missed every
+	// write while this node was down, so serving it in a later stint
+	// would resurrect stale versions. The recovering owner does not need
+	// it either — recovery syncs from the surviving members.
+	n.handoffFor = make(map[int]bool)
+	n.store.ClearHandoff()
 	n.recovering = true
+	n.rejoined = false
+	n.restartGen++
+	gen := n.restartGen
 	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.RejoinRequest{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+	// The request is a datagram and the network may be lossy; retry until
+	// the controller's RejoinInfo arrives (handleRejoin is idempotent).
+	n.s.Spawn(n.name("rejoin-retry"), func(p *sim.Proc) {
+		for {
+			p.Sleep(2 * n.cfg.HeartbeatEvery)
+			if gen != n.restartGen || n.rejoined {
+				return
+			}
+			n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.RejoinRequest{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+		}
+	})
 }

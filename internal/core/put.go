@@ -29,28 +29,122 @@ func (n *Node) handlePut(p *sim.Proc, req *PutRequest) {
 	me := n.cfg.Addr.Index
 	isPrimary := v.Primary().Index == me
 
+	k := req.key()
+	if _, inFlight := n.puts[k]; inFlight {
+		// Duplicate of an attempt this node is still processing; its reply
+		// (same request ID) will satisfy the client's retry.
+		return
+	}
+	if ts, ok := n.committed[k]; ok {
+		n.duplicatePut(p, v, req, ts, isPrimary)
+		return
+	}
+	if rec, ok := n.store.LogOf(req.Key); ok {
+		if tag, _ := rec.Tag.(reqKey); tag == k {
+			// The same put is already prepared here but never committed (a
+			// laggard after a partial commit): re-ack phase one; the commit
+			// arrives via the primary's re-sent timestamp or resolution.
+			if !isPrimary {
+				pr := v.Primary()
+				n.data.SendTo(pr.IP, pr.DataPort, &Ack1{Req: k, From: me}, ackSize)
+			}
+			return
+		}
+	}
+
 	ps := n.registerPut(req)
-	defer delete(n.puts, req.key())
-	dbg("%v node%d handlePut %s primary=%v", p.Now(), me, req.Key, isPrimary)
+	defer func() {
+		// Post-restart, a retry of the same put may have re-registered
+		// under this key; only remove our own state.
+		if n.puts[k] == ps {
+			delete(n.puts, k)
+		}
+	}()
+	if Debug {
+		dbg("%v node%d handlePut %s primary=%v", p.Now(), me, req.Key, isPrimary)
+	}
 	n.cpu.Use(p, n.cfg.CPUPerOp)
+	if n.stale(ps) {
+		return
+	}
 
 	// Phase one: lock, +L, W.
 	if !n.store.Lock(p, req.Key, 2*n.cfg.AckTimeout) {
 		n.stats.Aborts++
-		if isPrimary {
-			n.replyPut(req, false, "lock timeout")
+		if isPrimary && !n.stale(ps) {
+			n.replyPut(req, false, "lock timeout", 0)
 		}
 		return
+	}
+	if n.stale(ps) {
+		return // the granted lock died with the crash; don't touch the store
 	}
 	obj := &kvstore.Object{Key: req.Key, Value: req.Value, Size: req.Size}
 	n.store.AppendLog(p, kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key()})
 	n.store.ChargeWrite(p, req.Size)
+	if n.stale(ps) {
+		// Crashed while forcing the WAL record: withdraw it unless a
+		// post-restart retry already replaced it with its own.
+		if rec, ok := n.store.LogOf(req.Key); ok {
+			if tag, _ := rec.Tag.(reqKey); tag == k {
+				n.store.DropLog(req.Key)
+			}
+		}
+		return
+	}
 
 	if isPrimary {
 		n.primaryCommit(p, v, req, ps, obj)
 	} else {
 		n.secondaryCommit(p, v, req, ps, obj, part)
 	}
+}
+
+// duplicatePut answers a retry of a put this node already committed: the
+// primary re-multicasts the original timestamp (converging any replica
+// that missed the commit — the retry's own multicast redelivered the
+// object, so a replica that lost the first transfer now holds it
+// prepared) and re-acks the client with the original version; a
+// secondary re-acks both phases so a primary still collecting acks can
+// finish. No state is re-applied, so a retried put can never
+// double-apply or roll a newer value back.
+//
+// The primary must NOT ack the client before the replica set confirms:
+// the first attempt may have committed on the primary alone, and an ack
+// racing the secondaries' convergence would let a load-balanced get read
+// a secondary that does not hold the acked version yet.
+func (n *Node) duplicatePut(p *sim.Proc, v *controller.PartitionView, req *PutRequest, ts kvstore.Timestamp, isPrimary bool) {
+	n.stats.DupPuts++
+	n.cpu.Use(p, n.cfg.CPUPerOp)
+	k := req.key()
+	dbg("%v node%d duplicatePut %s primary=%v ts=%v", p.Now(), n.cfg.Addr.Index, req.Key, isPrimary, ts)
+	if !isPrimary {
+		pr := v.Primary()
+		n.data.SendTo(pr.IP, pr.DataPort, &Ack1{Req: k, From: n.cfg.Addr.Index}, ackSize)
+		n.data.SendTo(pr.IP, pr.DataPort, &Ack2{Req: k, From: n.cfg.Addr.Index}, ackSize)
+		return
+	}
+	ps := n.registerPut(req)
+	defer func() {
+		if n.puts[k] == ps {
+			delete(n.puts, k)
+		}
+	}()
+	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: k, Key: req.Key, Ts: ts, Dup: true}, tsMsgSize)
+	need, want := n.ackQuorum(v)
+	if !n.waitAcks(p, ps, ps.ack2, need, want) {
+		if n.stale(ps) {
+			return
+		}
+		// The client retries; replicas keep converging via the WAL/dedup
+		// paths until the whole set confirms.
+		n.replyPut(req, false, "replica unresponsive in commit phase", 0)
+		return
+	}
+	if n.stale(ps) {
+		return
+	}
+	n.replyPut(req, true, "", ts.PrimarySeq)
 }
 
 // othersOf lists the put participants excluding this node.
@@ -62,6 +156,37 @@ func (n *Node) othersOf(v *controller.PartitionView) []controller.NodeAddr {
 		}
 	}
 	return out
+}
+
+// ackQuorum returns the nodes whose acks may count toward the commit
+// quorum and how many of them the primary must hear from. Under full
+// replication that is every other participant, handoff stand-in
+// included. Under any-k the stand-in is excluded: it still receives
+// every write (its directory must cover the outage), but its ack cannot
+// substitute for a proper member's — the controller may later drop the
+// stand-in from the view with no data transfer, so a quorum that leaned
+// on it would leave an acked version held only by nodes that can all
+// leave the member set at once.
+func (n *Node) ackQuorum(v *controller.PartitionView) ([]controller.NodeAddr, int) {
+	others := n.othersOf(v)
+	if n.cfg.QuorumK <= 0 {
+		return others, len(others)
+	}
+	var proper []controller.NodeAddr
+	for _, r := range others {
+		if v.Handoff != nil && r.Index == v.Handoff.Index {
+			continue
+		}
+		proper = append(proper, r)
+	}
+	want := n.cfg.QuorumK - 1
+	if want > len(proper) {
+		want = len(proper)
+	}
+	if want < 0 {
+		want = 0
+	}
+	return proper, want
 }
 
 // waitAcks waits until at least want of the nodes in need appear in got,
@@ -98,24 +223,30 @@ func (n *Node) waitAcks(p *sim.Proc, ps *putState, got map[int]bool, need []cont
 // with a fresh timestamp, multicast it, collect second-phase acks, and
 // answer the client.
 func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutRequest, ps *putState, obj *kvstore.Object) {
-	others := n.othersOf(v)
 	part := v.Partition
-	want := len(others)
-	if n.cfg.QuorumK > 0 && n.cfg.QuorumK-1 < want {
-		want = n.cfg.QuorumK - 1
-		if want < 0 {
-			want = 0
-		}
+	// A freshly promoted primary must not issue timestamps until lock
+	// resolution has synchronized its logical clock with its peers (the
+	// old primary may have committed versions this node never witnessed).
+	n.waitResolved(p, part)
+	if n.stale(ps) {
+		return
 	}
+	need, want := n.ackQuorum(v)
 
-	if !n.waitAcks(p, ps, ps.ack1, others, want) {
+	if !n.waitAcks(p, ps, ps.ack1, need, want) {
+		if n.stale(ps) {
+			return
+		}
 		dbg("%v node%d ABORT %s: ack1=%v want=%d", p.Now(), n.cfg.Addr.Index, req.Key, ps.ack1, want)
 		// Abort: release everyone still waiting, clean up, fail the op.
 		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Abort: true}, tsMsgSize)
 		n.store.DropLog(req.Key)
 		n.store.Unlock(req.Key)
 		n.stats.Aborts++
-		n.replyPut(req, false, "replica unresponsive")
+		n.replyPut(req, false, "replica unresponsive", 0)
+		return
+	}
+	if n.stale(ps) {
 		return
 	}
 
@@ -127,7 +258,7 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 		ClientSeq:  req.ClientSeq,
 	}
 	obj.Version = ts
-	n.applyLocal(part, obj)
+	n.applyLocal(part, obj, false)
 	n.store.DropLog(req.Key)
 	n.store.Unlock(req.Key)
 	n.stats.Puts++
@@ -136,14 +267,32 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 	// Commit phase: multicast the timestamp to the replica set.
 	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts}, tsMsgSize)
 
-	if !n.waitAcks(p, ps, ps.ack2, others, want) {
+	if !n.waitAcks(p, ps, ps.ack2, need, want) {
+		if n.stale(ps) {
+			return
+		}
 		// Committed locally and possibly remotely; the client will retry
-		// against the repaired replica set.
-		n.replyPut(req, false, "replica unresponsive in commit phase")
+		// against the repaired replica set, and the dedup record above
+		// guarantees the retry converges on this commit's version instead
+		// of re-running the protocol.
+		n.replyPut(req, false, "replica unresponsive in commit phase", 0)
 		return
 	}
-	n.replyPut(req, true, "")
+	n.replyPut(req, true, "", ts.PrimarySeq)
 }
+
+// waitResolved blocks until no lock resolution is in flight for part.
+// The poll period is coarse — resolution is already a multi-RTT affair —
+// and deterministic.
+func (n *Node) waitResolved(p *sim.Proc, part int) {
+	for n.resolving[part] {
+		p.Sleep(n.cfg.AckTimeout / 4)
+	}
+}
+
+// stale reports whether the node crashed and restarted since ps was
+// registered (see putState.gen).
+func (n *Node) stale(ps *putState) bool { return ps.gen != n.restartGen }
 
 // secondaryCommit acknowledges phase one, waits for the timestamp, and
 // completes the commit. A primary quiet for two phases is reported and
@@ -151,12 +300,17 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutRequest, ps *putState, obj *kvstore.Object, part int) {
 	me := n.cfg.Addr.Index
 	primary := v.Primary()
-	dbg("%v node%d ack1 -> %d for %s", p.Now(), me, primary.Index, req.Key)
+	if Debug {
+		dbg("%v node%d ack1 -> %d for %s", p.Now(), me, primary.Index, req.Key)
+	}
 	n.data.SendTo(primary.IP, primary.DataPort, &Ack1{Req: req.key(), From: me}, ackSize)
 
 	tsm, ok := ps.ts.WaitTimeout(p, n.cfg.AckTimeout)
 	if !ok {
 		tsm, ok = ps.ts.WaitTimeout(p, n.cfg.AckTimeout)
+	}
+	if n.stale(ps) {
+		return
 	}
 	if !ok {
 		n.reportFailure(primary.Index)
@@ -188,7 +342,7 @@ func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *Pu
 	}
 	n.observeTs(tsm.Ts)
 	obj.Version = tsm.Ts
-	n.applyLocal(part, obj)
+	n.applyLocal(part, obj, tsm.Dup)
 	n.store.DropLog(req.Key)
 	n.store.Unlock(req.Key)
 	n.stats.Puts++
@@ -205,19 +359,31 @@ func (n *Node) observeTs(ts kvstore.Timestamp) {
 
 // applyLocal installs a committed object in the namespace this node
 // serves the partition from (main store, or the handoff directory when
-// standing in for a failed peer).
-func (n *Node) applyLocal(part int, obj *kvstore.Object) {
+// standing in for a failed peer). dup marks a dedup re-commit of a
+// version that may predate this node's stand-in tenure: the handoff
+// directory's serve authority (get.go) rests on its entries being the
+// newest committed writes, so a dup install is kept for durability but
+// marked non-servable until a genuine commit supersedes it.
+func (n *Node) applyLocal(part int, obj *kvstore.Object, dup bool) {
 	if n.handoffFor[part] {
-		n.store.ApplyHandoff(obj)
+		if n.store.ApplyHandoff(obj) {
+			if dup {
+				n.markStaleHandoff(part, obj.Key)
+			} else {
+				n.clearStaleHandoff(part, obj.Key)
+			}
+		}
 	} else {
 		n.store.Apply(obj)
 	}
+	n.recordCommit(obj.Version)
 	n.writeThrough(obj)
 }
 
-// replyPut answers the client over its reply stream.
-func (n *Node) replyPut(req *PutRequest, ok bool, errStr string) {
-	n.pool.Send(req.Client, req.ClientPort, &PutReply{ReqID: req.ClientSeq, OK: ok, Err: errStr}, replyOverhead)
+// replyPut answers the client over its reply stream; ver is the committed
+// version's primary sequence (0 when nothing committed).
+func (n *Node) replyPut(req *PutRequest, ok bool, errStr string, ver uint64) {
+	n.pool.Send(req.Client, req.ClientPort, &PutReply{ReqID: req.ClientSeq, OK: ok, Err: errStr, Ver: ver}, replyOverhead)
 }
 
 // lateTs handles a timestamp that arrived after its put handler gave up
@@ -226,6 +392,25 @@ func (n *Node) replyPut(req *PutRequest, ok bool, errStr string) {
 func (n *Node) lateTs(m *TsMsg) {
 	rec, ok := n.store.LogOf(m.Key)
 	if !ok || rec.Tag != any(m.Req) {
+		if !m.Abort {
+			if obj, have := n.store.Peek(m.Key); have &&
+				obj.Version.Client == m.Req.Client && obj.Version.ClientSeq == m.Req.Seq {
+				// This replica already committed the same logical put. A
+				// primary promoted without a dedup record may have re-run the
+				// retry under a newer timestamp: adopt it (same value, newer
+				// version) so replicas agree; an equal or older timestamp is
+				// the primary's dedup re-multicast and needs nothing.
+				if obj.Version.Less(m.Ts) {
+					n.observeTs(m.Ts)
+					clone := *obj
+					clone.Version = m.Ts
+					n.store.Apply(&clone)
+					n.recordCommit(m.Ts)
+					n.writeThrough(&clone)
+				}
+				return
+			}
+		}
 		n.orphan(m.Req).ts = m
 		return
 	}
@@ -241,7 +426,7 @@ func (n *Node) lateTs(m *TsMsg) {
 	obj := rec.Obj
 	n.observeTs(m.Ts)
 	obj.Version = m.Ts
-	n.applyLocal(part, obj)
+	n.applyLocal(part, obj, m.Dup)
 	n.store.DropLog(m.Key)
 	if n.store.Locked(m.Key) {
 		n.store.Unlock(m.Key)

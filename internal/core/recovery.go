@@ -35,6 +35,16 @@ func (n *Node) serveConn(p *sim.Proc, conn *transport.Conn) {
 					size += obj.Size
 				}
 			}
+			// Handoff-directory objects are committed, versioned writes of
+			// the same partition; a peer syncing from this node must see
+			// them even if this node has not folded them into the main
+			// namespace yet (the fetcher's merge rejects stale copies).
+			for _, obj := range n.store.HandoffObjects() {
+				if n.cfg.Space.PartitionOf(obj.Key) == req.Partition {
+					objs = append(objs, obj)
+					size += obj.Size
+				}
+			}
 			if err := conn.Send(p, &FetchRangeReply{Objects: objs}, size); err != nil {
 				return
 			}
@@ -59,7 +69,7 @@ func (n *Node) serveConn(p *sim.Proc, conn *transport.Conn) {
 				rk, _ := rec.Tag.(reqKey)
 				locked = append(locked, LockInfo{Key: rec.Key, ReqTag: rk, Obj: rec.Obj, Ts: rec.Ver})
 			}
-			rep := &LockQueryReply{From: n.cfg.Addr.Index, Locked: locked}
+			rep := &LockQueryReply{From: n.cfg.Addr.Index, Locked: locked, MaxSeq: n.primarySeq}
 			if err := conn.Send(p, rep, replyOverhead+32*len(locked)); err != nil {
 				return
 			}
@@ -95,55 +105,148 @@ func (n *Node) rpc(p *sim.Proc, to controller.NodeAddr, req any, reqSize int) (a
 	return m.Data, true
 }
 
+// fetchObjects performs one fetch exchange against a peer and merges the
+// returned objects into the local store (versioned — stale copies are
+// rejected). It reports whether the peer answered.
+func (n *Node) fetchObjects(p *sim.Proc, from controller.NodeAddr, req any) bool {
+	raw, ok := n.rpc(p, from, req, getReqSize)
+	if !ok {
+		return false
+	}
+	var objs []*kvstore.Object
+	switch rep := raw.(type) {
+	case *FetchRangeReply:
+		objs = rep.Objects
+	case *FetchHandoffReply:
+		objs = rep.Objects
+	default:
+		return false
+	}
+	for _, obj := range objs {
+		n.observeTs(obj.Version)
+		n.store.Put(p, obj)
+	}
+	return true
+}
+
+// syncPartition fetches the partition's committed range from every
+// current view member, retrying unreachable ones until each has answered
+// once. Object stores survive restarts, so the union of the members'
+// ranges contains every acknowledged put: full replication commits on
+// every live member, and under any-k the chaos generator keeps at most
+// one member out at a time (a second concurrent outage could hide the
+// only reachable copy, which no amount of syncing recovers). stop aborts
+// the wait — demotion, or another crash of this node.
+func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool) {
+	synced := make(map[int]bool)
+	for {
+		if stop() {
+			return
+		}
+		v := n.views[part]
+		if v == nil {
+			return
+		}
+		pending := false
+		for _, peer := range n.othersOf(v) {
+			if synced[peer.Index] {
+				continue
+			}
+			if n.fetchObjects(p, peer, &FetchRangeReq{Partition: part}) {
+				synced[peer.Index] = true
+			} else {
+				pending = true
+			}
+			if stop() {
+				return
+			}
+		}
+		if !pending {
+			return
+		}
+		n.stats.RecoveryFetchFails++
+		p.Sleep(2 * n.cfg.HeartbeatEvery)
+	}
+}
+
 // recover executes phase two of rejoin (§4.4 node recovery): the node is
-// already put-visible; it fetches everything it missed from each
-// partition's handoff node, then reports itself consistent.
+// already put-visible; it fetches everything it missed, then reports
+// itself consistent. The handoff directory is the paper's mechanism, but
+// it is silently incomplete when no handoff node was available or when
+// the handoff node itself was down for part of the window — so the
+// member-range sync is the correctness anchor, and the node stays
+// get-invisible (handleGet holds) until it finishes.
 func (n *Node) recover(p *sim.Proc, info *controller.RejoinInfo) {
+	gen := n.restartGen
+	stop := func() bool { return gen != n.restartGen }
 	for i, v := range info.Views {
 		n.applyView(v, false)
-		h := info.Handoffs[i]
-		if h.IP == 0 {
-			continue // no handoff was available; nothing recorded
+		part := v.Partition
+		if h := info.Handoffs[i]; h.IP != 0 {
+			for attempt := 0; attempt < 5 && !stop(); attempt++ {
+				if n.fetchObjects(p, h, &FetchHandoffReq{Partition: part}) {
+					break
+				}
+				p.Sleep(2 * n.cfg.HeartbeatEvery)
+			}
 		}
-		raw, ok := n.rpc(p, h, &FetchHandoffReq{Partition: v.Partition}, getReqSize)
-		if !ok {
-			continue
-		}
-		rep, ok := raw.(*FetchHandoffReply)
-		if !ok {
-			continue
-		}
-		for _, obj := range rep.Objects {
-			n.observeTs(obj.Version)
-			n.store.Put(p, obj) // versioned: stale copies are rejected
+		n.syncPartition(p, part, stop)
+		if stop() {
+			return // crashed again mid-recovery; the new incarnation restarts rejoin
 		}
 	}
 	n.recovering = false
-	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.ConsistentNotice{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+	n.notifyConsistent(p)
+}
+
+// notifyConsistent reports the node consistent, retrying while its own
+// views still show it put-visible-only: the notice is a datagram and may
+// be lost on a faulty path, and a node stuck Recovering never becomes
+// get-visible. The controller treats a duplicate notice as a no-op.
+func (n *Node) notifyConsistent(p *sim.Proc) {
+	for attempt := 0; attempt < 5; attempt++ {
+		n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.ConsistentNotice{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+		p.Sleep(2 * n.cfg.HeartbeatEvery)
+		still := false
+		for _, v := range n.views {
+			if v.IsRecovering(n.cfg.Addr.Index) {
+				still = true
+				break
+			}
+		}
+		if !still {
+			return
+		}
+	}
 }
 
 // expand executes a permanent replica-set join (§4.4 ring
 // re-configuration): the node is already put-visible; it fetches the
-// whole key range from the primary and reports itself consistent.
-func (n *Node) expand(p *sim.Proc, view *controller.PartitionView, source controller.NodeAddr) {
+// whole key range from the surviving members and reports itself
+// consistent. Gets for the partition are held (get.go) until the sync
+// lands — the node is in the view the moment it applies it, and an
+// empty member answering "not found" is a lie.
+func (n *Node) expand(p *sim.Proc, view *controller.PartitionView) {
+	part := view.Partition
+	n.syncing[part] = true
 	n.applyView(view, false)
-	raw, ok := n.rpc(p, source, &FetchRangeReq{Partition: view.Partition}, getReqSize)
-	if ok {
-		if rep, isRange := raw.(*FetchRangeReply); isRange {
-			for _, obj := range rep.Objects {
-				n.observeTs(obj.Version)
-				n.store.Put(p, obj)
-			}
-		}
+	gen := n.restartGen
+	n.syncPartition(p, part, func() bool { return gen != n.restartGen })
+	n.syncing[part] = false
+	if gen != n.restartGen {
+		return
 	}
-	n.ctrl.SendTo(n.cfg.Meta, n.cfg.MetaPort, &controller.ConsistentNotice{Node: n.cfg.Addr.Index}, ctrlMsgSize)
+	n.notifyConsistent(p)
 }
 
 // resolveLocks is the new primary's §4.4 procedure after promotion: find
 // every object still locked anywhere in the partition; commit the ones
 // the old primary committed anywhere (their committed version carries the
 // put's client quadruplet), abort the rest.
-func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView) {
+// gen is the restart generation at promotion: the procedure spans many
+// RTTs, and a resolver that blocked across a crash/restart of its own
+// node must not touch the reborn store.
+func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView, gen int) {
 	part := v.Partition
 	type lockedEnt struct {
 		req reqKey
@@ -160,10 +263,20 @@ func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView) {
 	peers := n.othersOf(v)
 	for _, peer := range peers {
 		raw, ok := n.rpc(p, peer, &LockQuery{Partition: part}, getReqSize)
+		if gen != n.restartGen {
+			return
+		}
 		if !ok {
 			continue
 		}
 		if rep, ok := raw.(*LockQueryReply); ok {
+			// Sync the logical clock with every reachable peer: under any-k
+			// puts a promoted laggard may never have witnessed the old
+			// primary's latest commits, and issuing a colliding PrimarySeq
+			// would let replicas order the same version pair differently.
+			if rep.MaxSeq > n.primarySeq {
+				n.primarySeq = rep.MaxSeq
+			}
 			for _, li := range rep.Locked {
 				if _, seen := locked[li.Key]; !seen {
 					locked[li.Key] = lockedEnt{req: li.ReqTag, obj: li.Obj}
@@ -194,6 +307,9 @@ func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView) {
 	}
 	for _, peer := range peers {
 		raw, ok := n.rpc(p, peer, &VersionQuery{Keys: keys}, getReqSize+16*len(keys))
+		if gen != n.restartGen {
+			return
+		}
 		if !ok {
 			continue
 		}
@@ -231,15 +347,21 @@ func (n *Node) applyCommitOrder(m *CommitOrder) {
 		return // already resolved here
 	}
 	rk, _ := rec.Tag.(reqKey)
-	if ps := n.puts[rk]; ps != nil && !ps.ts.Done() {
-		ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Ts: m.Ts})
+	if ps := n.puts[rk]; ps != nil {
+		// The handler is still alive and owns the lock: hand it the
+		// timestamp and let it finish. Even if its future is already set
+		// (the real TsMsg raced this order), committing here too would
+		// unlock a lock the handler is about to unlock itself.
+		if !ps.ts.Done() {
+			ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Ts: m.Ts})
+		}
 		return
 	}
 	part := n.cfg.Space.PartitionOf(m.Key)
 	obj := rec.Obj
 	n.observeTs(m.Ts)
 	obj.Version = m.Ts
-	n.applyLocal(part, obj)
+	n.applyLocal(part, obj, false)
 	n.store.DropLog(m.Key)
 	if n.store.Locked(m.Key) {
 		n.store.Unlock(m.Key)
@@ -254,8 +376,11 @@ func (n *Node) applyAbortOrder(m *AbortOrder) {
 		return
 	}
 	rk, _ := rec.Tag.(reqKey)
-	if ps := n.puts[rk]; ps != nil && !ps.ts.Done() {
-		ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Abort: true})
+	if ps := n.puts[rk]; ps != nil {
+		// See applyCommitOrder: the live handler owns the lock.
+		if !ps.ts.Done() {
+			ps.ts.Set(&TsMsg{Req: rk, Key: m.Key, Abort: true})
+		}
 		return
 	}
 	n.store.DropLog(m.Key)

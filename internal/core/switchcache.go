@@ -33,10 +33,10 @@ func (c CacheCodec) ParseGet(pkt *netsim.Packet) (string, bool) {
 }
 
 // MakeReply implements switchcache.Parser.
-func (c CacheCodec) MakeReply(pkt *netsim.Packet, value any, size int) switchcache.Reply {
+func (c CacheCodec) MakeReply(pkt *netsim.Packet, value any, size int, ver uint64) switchcache.Reply {
 	req := pkt.Payload.(*GetRequest)
 	return switchcache.Reply{
-		Payload: &GetReply{ReqID: req.ReqID, Found: true, Value: value, Size: size},
+		Payload: &GetReply{ReqID: req.ReqID, Found: true, Value: value, Size: size, Ver: ver},
 		Size:    size + replyOverhead,
 		DstPort: req.ClientPort,
 	}

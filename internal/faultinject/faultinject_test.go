@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func genCfg() GenConfig {
+	return DefaultGenConfig(5, sim.Time(time.Second))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a := Generate(seed, genCfg())
+		b := Generate(seed, genCfg())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: generation is not deterministic:\n%s\nvs\n%s", seed, a, b)
+		}
+		if len(a.Events) == 0 {
+			t.Fatalf("seed %d: empty schedule", seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, genCfg()), Generate(2, genCfg())) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateRespectsConstraints(t *testing.T) {
+	cfg := genCfg()
+	for seed := int64(1); seed <= 50; seed++ {
+		sched := Generate(seed, cfg)
+		type span struct {
+			from, to sim.Time
+			node     int
+		}
+		var outages []span
+		var perNode []span
+		var ctrl []span
+		for _, e := range sched.Events {
+			if e.At < cfg.Horizon/10 || e.At > cfg.Horizon*7/10 {
+				t.Fatalf("seed %d: event %s starts outside the fault window", seed, e)
+			}
+			if e.For <= 0 {
+				t.Fatalf("seed %d: event %s has no duration", seed, e)
+			}
+			end := e.At + e.For
+			switch e.Kind {
+			case NodeCrash, LinkDown:
+				if e.For < cfg.MinOutage || e.For > cfg.MaxOutage {
+					t.Fatalf("seed %d: outage %s outside [%v,%v]", seed, e, cfg.MinOutage, cfg.MaxOutage)
+				}
+				outages = append(outages, span{e.At, end, e.Node})
+				perNode = append(perNode, span{e.At, end, e.Node})
+			case Partition:
+				for _, n := range e.Nodes {
+					outages = append(outages, span{e.At, end, n})
+					perNode = append(perNode, span{e.At, end, n})
+				}
+			case CtrlFault:
+				ctrl = append(ctrl, span{e.At, end, 0})
+			default:
+				perNode = append(perNode, span{e.At, end, e.Node})
+			}
+		}
+		// No more than MaxOutages nodes unreachable at any instant.
+		// Concurrency can only change at a span start, so sampling each
+		// start instant covers every maximum.
+		for _, o := range outages {
+			n := 0
+			for _, p := range outages {
+				if p.from <= o.from && o.from < p.to {
+					n++
+				}
+			}
+			if n > cfg.MaxOutages {
+				t.Fatalf("seed %d: %d concurrent outages at %v > %d", seed, n, o.from, cfg.MaxOutages)
+			}
+		}
+		// Per-node faults are serialized.
+		for i, a := range perNode {
+			for _, b := range perNode[i+1:] {
+				if a.node == b.node && a.from < b.to && b.from < a.to {
+					t.Fatalf("seed %d: overlapping faults on node %d", seed, a.node)
+				}
+			}
+		}
+		// Control-channel fault windows never overlap.
+		for i, a := range ctrl {
+			for _, b := range ctrl[i+1:] {
+				if a.from < b.to && b.from < a.to {
+					t.Fatalf("seed %d: overlapping ctrl faults", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		sched := Generate(seed, genCfg())
+		text := sched.String()
+		back, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("seed %d: parse %q: %v", seed, text, err)
+		}
+		if !reflect.DeepEqual(sched, back) {
+			t.Fatalf("seed %d: round trip diverged:\n in: %#v\nout: %#v\ntext: %s", seed, sched, back, text)
+		}
+	}
+}
+
+func TestParseScheduleRejectsGarbage(t *testing.T) {
+	for _, text := range []string{
+		"crash n0 @1ms +1ms",             // missing seed header
+		"seed=x | crash n0 @1ms +1ms",    // bad seed
+		"seed=1 | melt n0 @1ms +1ms",     // unknown kind
+		"seed=1 | crash n0,n1 @1ms +1ms", // bad node list
+		"seed=1 | crash n0 @wat +1ms",    // bad duration
+		"seed=1 | crash n0 q=3 @1ms",     // unknown field
+	} {
+		if _, err := ParseSchedule(text); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted garbage", text)
+		}
+	}
+}
+
+// recFabric records fabric calls for Install ordering tests.
+type recFabric struct {
+	log []string
+}
+
+func (f *recFabric) rec(format string, args ...any) {
+	f.log = append(f.log, fmt.Sprintf(format, args...))
+}
+
+func (f *recFabric) Crash(n int)                         { f.rec("crash %d", n) }
+func (f *recFabric) Restart(n int)                       { f.rec("restart %d", n) }
+func (f *recFabric) SetLinkDown(n int, down bool)        { f.rec("down %d %v", n, down) }
+func (f *recFabric) SetLinkLoss(n int, r float64)        { f.rec("loss %d %v", n, r) }
+func (f *recFabric) SetLinkDelayFactor(n int, x float64) { f.rec("delay %d %v", n, x) }
+func (f *recFabric) SetNICFactor(n int, x float64)       { f.rec("nic %d %v", n, x) }
+func (f *recFabric) SetDiskFactor(n int, x float64)      { f.rec("disk %d %v", n, x) }
+func (f *recFabric) SetCtrlFault(d sim.Time, r float64)  { f.rec("ctrl %v %v", d, r) }
+
+func TestInstallAppliesAndReverts(t *testing.T) {
+	s := sim.New(1)
+	f := &recFabric{}
+	sched := Schedule{Seed: 7, Events: []Event{
+		{Kind: NodeCrash, At: sim.Time(10 * time.Millisecond), For: sim.Time(20 * time.Millisecond), Node: 2},
+		{Kind: LinkLoss, At: sim.Time(15 * time.Millisecond), For: sim.Time(5 * time.Millisecond), Node: 0, Rate: 0.5},
+		{Kind: Partition, At: sim.Time(40 * time.Millisecond), For: sim.Time(10 * time.Millisecond), Nodes: []int{1, 3}},
+		{Kind: CtrlFault, At: sim.Time(60 * time.Millisecond), For: sim.Time(10 * time.Millisecond), Delay: sim.Time(time.Millisecond), Rate: 0.25},
+	}}
+	Install(s, f, sched)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"crash 2",
+		"loss 0 0.5",
+		"loss 0 0",
+		"restart 2",
+		"down 1 true", "down 3 true",
+		"down 1 false", "down 3 false",
+		"ctrl 1ms 0.25",
+		"ctrl 0s 0",
+	}
+	if !reflect.DeepEqual(f.log, want) {
+		t.Fatalf("fabric log:\n%v\nwant:\n%v", f.log, want)
+	}
+}

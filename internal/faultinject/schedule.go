@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// The schedule text format is the repro line the chaos checker prints on
+// a violation: one "seed=N" header and one clause per event, separated by
+// " | ". Example:
+//
+//	seed=42 | crash n2 @120ms +80ms | loss n0 r=0.25 @300ms +50ms
+//
+// String and ParseSchedule round-trip exactly (floats use shortest
+// representation, durations use time.Duration syntax), so a printed line
+// replays the precise execution that produced the violation.
+
+// String serializes the schedule in the repro format.
+func (s Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	for _, e := range s.Events {
+		b.WriteString(" | ")
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// String serializes one event clause.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	switch e.Kind {
+	case Partition:
+		parts := make([]string, len(e.Nodes))
+		for i, n := range e.Nodes {
+			parts[i] = strconv.Itoa(n)
+		}
+		fmt.Fprintf(&b, " n%s", strings.Join(parts, ","))
+	case CtrlFault:
+		fmt.Fprintf(&b, " d=%s r=%s", time.Duration(e.Delay), fmtFloat(e.Rate))
+	default:
+		fmt.Fprintf(&b, " n%d", e.Node)
+	}
+	switch e.Kind {
+	case LinkLoss:
+		fmt.Fprintf(&b, " r=%s", fmtFloat(e.Rate))
+	case DelaySpike, SlowNIC, SlowDisk:
+		fmt.Fprintf(&b, " x=%s", fmtFloat(e.Factor))
+	}
+	fmt.Fprintf(&b, " @%s +%s", time.Duration(e.At), time.Duration(e.For))
+	return b.String()
+}
+
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParseSchedule parses the String format back into a schedule.
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	clauses := strings.Split(text, "|")
+	for i, c := range clauses {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if i == 0 {
+			if !strings.HasPrefix(c, "seed=") {
+				return s, fmt.Errorf("faultinject: schedule must start with seed=, got %q", c)
+			}
+			seed, err := strconv.ParseInt(c[len("seed="):], 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("faultinject: bad seed in %q: %v", c, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		e, err := parseEvent(c)
+		if err != nil {
+			return s, err
+		}
+		s.Events = append(s.Events, e)
+	}
+	return s, nil
+}
+
+func parseEvent(clause string) (Event, error) {
+	var e Event
+	fields := strings.Fields(clause)
+	if len(fields) == 0 {
+		return e, fmt.Errorf("faultinject: empty event clause")
+	}
+	kind := Kind(-1)
+	for k := Kind(0); k < numKinds; k++ {
+		if kindNames[k] == fields[0] {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return e, fmt.Errorf("faultinject: unknown fault kind %q", fields[0])
+	}
+	e.Kind = kind
+	for _, f := range fields[1:] {
+		var err error
+		switch {
+		case strings.HasPrefix(f, "n"):
+			for _, part := range strings.Split(f[1:], ",") {
+				n, perr := strconv.Atoi(part)
+				if perr != nil {
+					return e, fmt.Errorf("faultinject: bad node list %q: %v", f, perr)
+				}
+				e.Nodes = append(e.Nodes, n)
+			}
+			if kind != Partition {
+				if len(e.Nodes) != 1 {
+					return e, fmt.Errorf("faultinject: %s takes one node, got %q", kind, f)
+				}
+				e.Node, e.Nodes = e.Nodes[0], nil
+			}
+		case strings.HasPrefix(f, "r="):
+			e.Rate, err = strconv.ParseFloat(f[2:], 64)
+		case strings.HasPrefix(f, "x="):
+			e.Factor, err = strconv.ParseFloat(f[2:], 64)
+		case strings.HasPrefix(f, "d="):
+			var d time.Duration
+			d, err = time.ParseDuration(f[2:])
+			e.Delay = sim.Time(d)
+		case strings.HasPrefix(f, "@"):
+			var d time.Duration
+			d, err = time.ParseDuration(f[1:])
+			e.At = sim.Time(d)
+		case strings.HasPrefix(f, "+"):
+			var d time.Duration
+			d, err = time.ParseDuration(f[1:])
+			e.For = sim.Time(d)
+		default:
+			return e, fmt.Errorf("faultinject: unknown field %q in %q", f, clause)
+		}
+		if err != nil {
+			return e, fmt.Errorf("faultinject: bad field %q in %q: %v", f, clause, err)
+		}
+	}
+	return e, nil
+}

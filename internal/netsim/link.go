@@ -41,6 +41,7 @@ type linkDir struct {
 	net       *Network
 	cfg       LinkConfig
 	dst       *Port // delivery target
+	down      bool  // severed: everything sent is dropped
 	busyUntil sim.Time
 	stats     DirStats
 }
@@ -67,6 +68,11 @@ func (d *linkDir) send(pkt *Packet) {
 	d.busyUntil = done
 	d.stats.Bytes += int64(pkt.Size)
 	d.stats.Packets++
+	if d.down {
+		d.net.drops++
+		d.net.RecyclePacket(pkt)
+		return
+	}
 	if d.cfg.LossRate > 0 && s.Rand().Float64() < d.cfg.LossRate {
 		d.net.drops++
 		d.net.RecyclePacket(pkt) // lost on the wire: nobody else holds it
@@ -101,6 +107,27 @@ func (l *Link) TotalBytes() int64 { return l.ab.stats.Bytes + l.ba.stats.Bytes }
 func (l *Link) SetConfig(cfg LinkConfig) {
 	l.ab.cfg = cfg
 	l.ba.cfg = cfg
+}
+
+// Config returns the current configuration (both directions share one).
+func (l *Link) Config() LinkConfig { return l.ab.cfg }
+
+// SetDown severs or restores the cable. A down link drops everything
+// offered in either direction (counted as network drops) while keeping
+// ports attached, modeling a cut or a partition rather than an unplug.
+func (l *Link) SetDown(down bool) {
+	l.ab.down = down
+	l.ba.down = down
+}
+
+// IsDown reports whether the link is severed.
+func (l *Link) IsDown() bool { return l.ab.down }
+
+// SetLossRate changes only the loss probability, leaving capacity and
+// delay untouched (fault injection: a flaky cable or an overrun queue).
+func (l *Link) SetLossRate(rate float64) {
+	l.ab.cfg.LossRate = rate
+	l.ba.cfg.LossRate = rate
 }
 
 // Port is a device attachment point. Sending on a port transmits on the

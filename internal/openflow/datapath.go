@@ -30,6 +30,7 @@ type ControlStats struct {
 	PacketOuts int64
 	FlowMods   int64
 	GroupMods  int64
+	CtrlDrops  int64 // PacketIns/PacketOuts lost to an injected control fault
 }
 
 // Datapath attaches OpenFlow forwarding to a netsim switch: a flow table,
@@ -45,6 +46,16 @@ type Datapath struct {
 	ctrlDelay sim.Time
 	miss      MissBehavior
 	stats     ControlStats
+
+	// Injected control-channel fault (SetControlFault): extra latency on
+	// every control message, and a drop probability for the packet-carrying
+	// ones. lastDeliver keeps the channel FIFO when the extra delay changes
+	// mid-run — the control session is ordered like the TCP channel it
+	// models, so a mod issued during a fault window must not be overtaken
+	// by one issued after it.
+	ctrlExtra   sim.Time
+	ctrlDrop    float64
+	lastDeliver sim.Time
 }
 
 // Attach builds a datapath on sw and installs it as the switch pipeline.
@@ -77,6 +88,39 @@ func (dp *Datapath) Stats() ControlStats { return dp.stats }
 
 // SetController registers the controller receiving PacketIns.
 func (dp *Datapath) SetController(h ControllerHandler) { dp.handler = h }
+
+// SetControlFault injects management-network trouble: extraDelay is added
+// to every control-channel exchange, and dropRate loses punted packets
+// and packet-outs with that probability. Flow and group mods are delayed
+// but never dropped — they ride the reliable control session — and the
+// channel stays FIFO across delay changes. Zero both to restore health.
+func (dp *Datapath) SetControlFault(extraDelay sim.Time, dropRate float64) {
+	dp.ctrlExtra = extraDelay
+	dp.ctrlDrop = dropRate
+}
+
+// ctrlSched schedules fn one control-channel traversal from now,
+// honouring the injected extra delay and the channel's FIFO ordering.
+func (dp *Datapath) ctrlSched(fn func()) {
+	s := dp.sw.Sim()
+	t := s.Now() + dp.ctrlDelay + dp.ctrlExtra
+	if t < dp.lastDeliver {
+		t = dp.lastDeliver
+	}
+	dp.lastDeliver = t
+	s.At(t, fn)
+}
+
+// ctrlLossy reports whether a packet-carrying control message is lost to
+// the injected fault. The RNG is only consulted while a fault is active,
+// so healthy runs consume no randomness here.
+func (dp *Datapath) ctrlLossy() bool {
+	if dp.ctrlDrop > 0 && dp.sw.Sim().Rand().Float64() < dp.ctrlDrop {
+		dp.stats.CtrlDrops++
+		return true
+	}
+	return false
+}
 
 // SetMissBehavior selects the table-miss policy.
 func (dp *Datapath) SetMissBehavior(m MissBehavior) { dp.miss = m }
@@ -173,8 +217,12 @@ func (dp *Datapath) punt(pkt *netsim.Packet, inPort int) {
 		dp.sw.Drop(pkt)
 		return
 	}
+	if dp.ctrlLossy() {
+		dp.sw.Drop(pkt)
+		return
+	}
 	dp.stats.PacketIns++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.sw.Sim().After(dp.ctrlDelay+dp.ctrlExtra, func() {
 		dp.handler.PacketIn(dp, pkt, inPort)
 	})
 }
@@ -187,7 +235,7 @@ func (dp *Datapath) punt(pkt *netsim.Packet, inPort int) {
 func (dp *Datapath) AddFlow(e FlowEntry) *sim.Future[error] {
 	dp.stats.FlowMods++
 	f := sim.NewFuture[error](dp.sw.Sim())
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		_, err := dp.table.Add(e)
 		f.Set(err)
 	})
@@ -197,7 +245,7 @@ func (dp *Datapath) AddFlow(e FlowEntry) *sim.Future[error] {
 // RemoveFlows deletes rules matching pred.
 func (dp *Datapath) RemoveFlows(pred func(*FlowEntry) bool) {
 	dp.stats.FlowMods++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		dp.table.Remove(pred)
 	})
 }
@@ -205,7 +253,7 @@ func (dp *Datapath) RemoveFlows(pred func(*FlowEntry) bool) {
 // RemoveCookie deletes rules whose cookie starts with prefix.
 func (dp *Datapath) RemoveCookie(prefix string) {
 	dp.stats.FlowMods++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		dp.table.RemoveCookie(prefix)
 	})
 }
@@ -213,7 +261,7 @@ func (dp *Datapath) RemoveCookie(prefix string) {
 // SetGroup installs or replaces a group.
 func (dp *Datapath) SetGroup(g Group) {
 	dp.stats.GroupMods++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		dp.groups.Set(g)
 	})
 }
@@ -221,7 +269,7 @@ func (dp *Datapath) SetGroup(g Group) {
 // DeleteGroup removes a group.
 func (dp *Datapath) DeleteGroup(id GroupID) {
 	dp.stats.GroupMods++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		dp.groups.Delete(id)
 	})
 }
@@ -229,8 +277,12 @@ func (dp *Datapath) DeleteGroup(id GroupID) {
 // PacketOut injects a packet out of a specific port (or floods it with
 // port = FloodPort).
 func (dp *Datapath) PacketOut(pkt *netsim.Packet, outPort int) {
+	if dp.ctrlLossy() {
+		dp.sw.Drop(pkt)
+		return
+	}
 	dp.stats.PacketOuts++
-	dp.sw.Sim().After(dp.ctrlDelay, func() {
+	dp.ctrlSched(func() {
 		if outPort == FloodPort {
 			dp.sw.Flood(pkt, -1)
 			return

@@ -42,8 +42,8 @@ type Parser interface {
 	// which key.
 	ParseGet(pkt *netsim.Packet) (key string, ok bool)
 	// MakeReply builds the reply answering pkt (a packet ParseGet
-	// accepted) with the cached value.
-	MakeReply(pkt *netsim.Packet, value any, size int) Reply
+	// accepted) with the cached value and its committed version.
+	MakeReply(pkt *netsim.Packet, value any, size int, ver uint64) Reply
 }
 
 // Config parameterizes one switch cache.
@@ -105,6 +105,11 @@ type Cache struct {
 	sampler func(key string)
 	stats   metrics.CacheCounters
 	misses  int64 // sampling phase counter
+
+	// extraCtrl is injected control-path latency (gray management network);
+	// it stretches installs, evictions and miss sampling but never the
+	// data-plane write-through, which rides the put traffic itself.
+	extraCtrl sim.Time
 }
 
 // Attach interposes a cache in front of dp's forwarding pipeline and
@@ -184,14 +189,14 @@ func (c *Cache) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
 		c.misses++
 		if c.sampler != nil && c.cfg.SampleEvery > 0 && c.misses%int64(c.cfg.SampleEvery) == 0 {
 			k := key
-			sw.Sim().After(c.cfg.CtrlDelay, func() { c.sampler(k) })
+			sw.Sim().After(c.ctrlDelay(), func() { c.sampler(k) })
 		}
 		c.next.Process(sw, pkt, inPort)
 		return
 	}
 	c.stats.Hits++
 	e.hits++
-	rep := c.parser.MakeReply(pkt, e.value, e.size)
+	rep := c.parser.MakeReply(pkt, e.value, e.size, e.ver)
 	net := sw.Network()
 	out := net.NewPacket()
 	out.SrcIP = pkt.DstIP // the vnode address the client asked
@@ -213,7 +218,7 @@ func (c *Cache) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
 // fetched version already superseded by a write-through (the fetch raced
 // a commit).
 func (c *Cache) Install(key string, value any, size int, ver uint64) {
-	c.dp.Switch().Sim().After(c.cfg.CtrlDelay, func() {
+	c.dp.Switch().Sim().After(c.ctrlDelay(), func() {
 		if size > c.cfg.MaxValueSize && c.cfg.MaxValueSize > 0 {
 			c.stats.Rejected++
 			return
@@ -237,10 +242,17 @@ func (c *Cache) Install(key string, value any, size int, ver uint64) {
 	})
 }
 
+// SetExtraCtrlDelay injects (or, with 0, clears) additional control-path
+// latency for fault experiments.
+func (c *Cache) SetExtraCtrlDelay(d sim.Time) { c.extraCtrl = d }
+
+// ctrlDelay is the effective control-channel latency.
+func (c *Cache) ctrlDelay() sim.Time { return c.cfg.CtrlDelay + c.extraCtrl }
+
 // Evict is the controller's entry removal, applied after the control
 // delay.
 func (c *Cache) Evict(key string) {
-	c.dp.Switch().Sim().After(c.cfg.CtrlDelay, func() {
+	c.dp.Switch().Sim().After(c.ctrlDelay(), func() {
 		if _, ok := c.entries[key]; ok {
 			delete(c.entries, key)
 			c.stats.Evictions++

@@ -21,7 +21,7 @@ func (stubParser) ParseGet(pkt *netsim.Packet) (string, bool) {
 	return k, ok
 }
 
-func (stubParser) MakeReply(pkt *netsim.Packet, value any, size int) Reply {
+func (stubParser) MakeReply(pkt *netsim.Packet, value any, size int, ver uint64) Reply {
 	return Reply{Payload: value, Size: size, DstPort: 8000}
 }
 
