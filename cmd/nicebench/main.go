@@ -13,7 +13,7 @@
 //	nicebench -experiment all             # everything, paper-scale op counts
 //	nicebench -experiment fig5 -ops 200   # one figure, reduced cost
 //	nicebench -experiment fig5 -compare   # parallel vs sequential wall clock
-//	nicebench -experiment kernel          # sim/netsim micro-benchmarks -> BENCH_kernel.json
+//	nicebench -experiment kernel          # kernel + switch-scale micro-benchmarks -> BENCH_kernel.json, BENCH_switch.json
 //	nicebench -experiment chaos           # randomized fault schedules + consistency checker
 package main
 
@@ -87,6 +87,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "time each figure both parallel and sequential")
 		figOut   = flag.String("figures-out", "BENCH_figures.json", "write figure wall-clock timings here (empty: skip)")
 		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
+		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip)")
 		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
 	)
 	flag.Parse()
@@ -315,6 +316,13 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *kernOut)
+		}
+		swReport := switchBenchmarks()
+		if *swOut != "" {
+			if err := writeJSON(*swOut, swReport); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *swOut)
 		}
 		ran++
 	}

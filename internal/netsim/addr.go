@@ -62,6 +62,12 @@ func (ip IP) String() string {
 // Add returns ip offset by n addresses.
 func (ip IP) Add(n uint32) IP { return ip + IP(n) }
 
+// Masked returns the address with all but its bits high-order bits
+// cleared — the network part a /bits prefix matches on. Indexed
+// forwarding structures (package openflow) use it to reduce a concrete
+// packet address to the hash key of a prefix-match group.
+func (ip IP) Masked(bits int) IP { return ip & mask(bits) }
+
 // Prefix is a CIDR block: the Bits high-order bits of Addr are
 // significant. The zero Prefix matches every address (a wildcard).
 type Prefix struct {

@@ -1,0 +1,207 @@
+package openflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// randPrefix draws a prefix biased toward the shapes the controller
+// installs (/16 vring spaces, /24 subgroups, /32 hosts), plus wildcards
+// and the occasional unmasked-address prefix that can never match.
+func randPrefix(rng *rand.Rand) netsim.Prefix {
+	bits := []int{0, 8, 16, 24, 26, 32}[rng.Intn(6)]
+	addr := netsim.IPv4(10, byte(rng.Intn(3)), byte(rng.Intn(4)), byte(rng.Intn(6)))
+	if rng.Intn(16) == 0 {
+		// Raw construction with stray host bits: Contains never holds.
+		return netsim.Prefix{Addr: addr | 1, Bits: bits}
+	}
+	return netsim.PrefixOf(addr, bits)
+}
+
+// randMatch draws a match over a deliberately tiny field space so rules
+// overlap, shadow each other, and tie on priority.
+func randMatch(rng *rand.Rand) Match {
+	m := NewMatch()
+	if rng.Intn(2) == 0 {
+		m.DstIP = randPrefix(rng)
+	}
+	if rng.Intn(3) == 0 {
+		m.SrcIP = randPrefix(rng)
+	}
+	if rng.Intn(4) == 0 {
+		m.Proto = []netsim.Proto{netsim.ProtoUDP, netsim.ProtoTCP, netsim.ProtoARP}[rng.Intn(3)]
+	}
+	if rng.Intn(5) == 0 {
+		m.SrcPort = uint16(7000 + rng.Intn(3))
+	}
+	if rng.Intn(5) == 0 {
+		m.DstPort = uint16(9000 + rng.Intn(3))
+	}
+	if rng.Intn(6) == 0 {
+		m.InPort = rng.Intn(3)
+	}
+	return m
+}
+
+func randPacket(rng *rand.Rand) *netsim.Packet {
+	ports := []uint16{0, 7000, 7001, 7002, 9000, 9001, 9002}
+	return &netsim.Packet{
+		SrcIP:   netsim.IPv4(10, byte(rng.Intn(3)), byte(rng.Intn(4)), byte(rng.Intn(6))),
+		DstIP:   netsim.IPv4(10, byte(rng.Intn(3)), byte(rng.Intn(4)), byte(rng.Intn(6))),
+		Proto:   []netsim.Proto{netsim.ProtoNone, netsim.ProtoUDP, netsim.ProtoTCP, netsim.ProtoARP}[rng.Intn(4)],
+		SrcPort: ports[rng.Intn(len(ports))],
+		DstPort: ports[rng.Intn(len(ports))],
+		Size:    1 + rng.Intn(1400),
+	}
+}
+
+// TestDifferentialLookup drives the indexed FlowTable and the linear
+// ReferenceTable through identical randomized histories of adds, removes,
+// clock advances, and lookups, and demands that every lookup resolves to
+// the identical entry — same cookie, same priority/insertion-order
+// tie-break — or misses in both. Well over 10k (ruleset, packet) cases.
+func TestDifferentialLookup(t *testing.T) {
+	const (
+		iterations = 400
+		opsPerIter = 160
+	)
+	lookups := 0
+	for iter := 0; iter < iterations; iter++ {
+		rng := rand.New(rand.NewSource(int64(iter)))
+		s := sim.New(1)
+		ft := NewFlowTable(s)
+		rt := NewReferenceTable(s)
+		nrules := 0
+		for op := 0; op < opsPerIter; op++ {
+			switch r := rng.Intn(100); {
+			case r < 25: // install a rule in both tables
+				e := FlowEntry{
+					Priority: rng.Intn(5),
+					Match:    randMatch(rng),
+					Cookie:   fmt.Sprintf("c%d.r%d", rng.Intn(4), nrules),
+				}
+				if rng.Intn(3) == 0 {
+					e.IdleTimeout = time.Duration(1+rng.Intn(50)) * time.Microsecond
+				}
+				nrules++
+				if _, err := ft.Add(e); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := rt.Add(e); err != nil {
+					t.Fatal(err)
+				}
+			case r < 32: // remove a random cookie class from both
+				pfx := fmt.Sprintf("c%d.", rng.Intn(4))
+				ft.RemoveCookie(pfx)
+				rt.RemoveCookie(pfx)
+			case r < 45: // advance the clock so idle timeouts bite
+				if err := s.RunUntil(s.Now() + time.Duration(1+rng.Intn(40))*time.Microsecond); err != nil {
+					t.Fatal(err)
+				}
+			default: // differential probe
+				pkt := randPacket(rng)
+				inPort := rng.Intn(4) - 1
+				got := ft.Lookup(pkt, inPort)
+				want := rt.Lookup(pkt, inPort)
+				lookups++
+				switch {
+				case (got == nil) != (want == nil):
+					t.Fatalf("iter %d op %d pkt %v in=%d: indexed=%v reference=%v",
+						iter, op, pkt, inPort, got, want)
+				case got != nil && (got.Cookie != want.Cookie || got.Priority != want.Priority || got.seq != want.seq):
+					t.Fatalf("iter %d op %d pkt %v in=%d: indexed hit %v, reference hit %v",
+						iter, op, pkt, inPort, got, want)
+				case got != nil && got.Matches() != want.Matches():
+					t.Fatalf("iter %d op %d: hit counters diverged: indexed=%d reference=%d",
+						iter, op, got.Matches(), want.Matches())
+				}
+			}
+		}
+		// The indexed table reaps shadowed expired entries the reference
+		// never visits, so it can only ever hold fewer.
+		if ft.Len() > rt.Len() {
+			t.Fatalf("iter %d: indexed table retains %d entries, reference %d", iter, ft.Len(), rt.Len())
+		}
+	}
+	if lookups < 10000 {
+		t.Fatalf("only %d differential lookups exercised, want >= 10000", lookups)
+	}
+}
+
+// TestShadowedIdleRuleExpires is the regression test for the idle-expiry
+// gap: under the old scan-coupled eviction, an idle rule sorted below a
+// hot rule was never visited by Lookup and survived forever. The deadline
+// heap must reap it regardless of shadowing.
+func TestShadowedIdleRuleExpires(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	tbl.Add(FlowEntry{Priority: 10, Match: MatchDst(pfx("10.0.0.0/8")), Cookie: "hot"})
+	tbl.Add(FlowEntry{
+		Priority:    5,
+		Match:       MatchDst(pfx("10.0.0.0/8")),
+		Cookie:      "shadowed",
+		IdleTimeout: us(100),
+	})
+	// Steady traffic hits the hot rule; the shadowed rule is never used.
+	for i := 1; i <= 6; i++ {
+		s.At(us(50*i), func() {
+			if e := tbl.Lookup(udp("1.1.1.1", "10.0.0.5"), 0); e == nil || e.Cookie != "hot" {
+				t.Errorf("lookup resolved to %v, want hot rule", e)
+			}
+		})
+	}
+	s.At(us(400), func() {
+		if tbl.Len() != 1 {
+			t.Errorf("Len = %d after shadowed idle expiry, want 1", tbl.Len())
+		}
+		for _, e := range tbl.Entries() {
+			if e.Cookie == "shadowed" {
+				t.Error("shadowed idle rule still resident")
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Document the reference behavior the heap fixes: the linear table
+	// still holds the shadowed rule after the same history.
+	s2 := sim.New(1)
+	ref := NewReferenceTable(s2)
+	ref.Add(FlowEntry{Priority: 10, Match: MatchDst(pfx("10.0.0.0/8")), Cookie: "hot"})
+	ref.Add(FlowEntry{Priority: 5, Match: MatchDst(pfx("10.0.0.0/8")), Cookie: "shadowed", IdleTimeout: us(100)})
+	for i := 1; i <= 6; i++ {
+		s2.At(us(50*i), func() { ref.Lookup(udp("1.1.1.1", "10.0.0.5"), 0) })
+	}
+	s2.At(us(400), func() {
+		if ref.Len() != 2 {
+			t.Errorf("reference Len = %d, want 2 (shadowed rule leaks by design)", ref.Len())
+		}
+	})
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEntriesSnapshotIsolated verifies Entries hands out a copy: callers
+// shuffling or truncating the slice must not corrupt index invariants.
+func TestEntriesSnapshotIsolated(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	tbl.Add(FlowEntry{Priority: 2, Match: MatchDst(pfx("10.0.0.0/8")), Cookie: "a"})
+	tbl.Add(FlowEntry{Priority: 1, Match: NewMatch(), Cookie: "b"})
+	es := tbl.Entries()
+	es[0], es[1] = es[1], es[0]
+	es[0] = nil
+	if got := tbl.Entries(); got[0] == nil || got[0].Cookie != "a" || got[1].Cookie != "b" {
+		t.Fatalf("table order corrupted through Entries snapshot: %v", got)
+	}
+	if e := tbl.Lookup(udp("1.1.1.1", "10.0.0.5"), 0); e == nil || e.Cookie != "a" {
+		t.Fatalf("lookup after snapshot mutation = %v, want a", e)
+	}
+}

@@ -1,0 +1,228 @@
+package openflow
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// This file holds the two-tier match index behind FlowTable.Lookup.
+//
+// Tier one is a set of exact-match hash groups, one per distinct mask
+// signature (which fields a rule constrains, and at what prefix length):
+// all rules sharing a signature live in one map keyed by their concrete
+// field tuple, so a packet resolves against the whole group with a single
+// map probe on its correspondingly masked headers. This is the tuple-space
+// search of the OVS megaflow classifier, and the software analogue of the
+// exact-match SRAM tables real switch ASICs use next to their tiny TCAMs:
+// NICE's controller installs thousands of structurally identical rules
+// (per-partition vring prefixes, per-division LB rules, per-host /32
+// forwarding), which collapse into a handful of signatures.
+//
+// Tier two is a short priority-ordered list for rules that constrain
+// nothing at all (the default-miss catch-alls); it is consulted after the
+// groups and loses ties by the same (priority, insertion order) rule.
+//
+// Idle expiry is an explicit min-heap on lastUsed+IdleTimeout deadlines
+// (lazily refreshed, like a hashed timer wheel), replacing the old
+// evict-while-scanning approach that never visited entries shadowed by an
+// earlier match.
+
+// maskSig is the mask signature of a Match: which fields it pins and the
+// prefix lengths it pins them at. The zero maskSig is the all-wildcard
+// signature.
+type maskSig struct {
+	srcBits, dstBits uint8
+	proto            bool
+	srcPort, dstPort bool
+	inPort           bool
+}
+
+// sig extracts m's mask signature.
+func (m Match) sig() maskSig {
+	return maskSig{
+		srcBits: uint8(m.SrcIP.Bits),
+		dstBits: uint8(m.DstIP.Bits),
+		proto:   m.Proto != netsim.ProtoNone,
+		srcPort: m.SrcPort != 0,
+		dstPort: m.DstPort != 0,
+		inPort:  m.InPort != AnyPort,
+	}
+}
+
+// flowKey is the concrete tuple a signature group hashes on. Fields a
+// signature leaves wild are zero on both the rule and the packet side, so
+// they never split the key space.
+type flowKey struct {
+	src, dst         netsim.IP
+	proto            netsim.Proto
+	srcPort, dstPort uint16
+	inPort           int32
+}
+
+// ruleKey reduces m to its group key. Constrained prefix addresses are
+// taken verbatim (not re-masked): Prefix.Contains compares against the
+// unmasked address, so a prefix carrying bits below its mask can never
+// contain any address, and keeping those bits in the key preserves
+// exactly that never-matches behavior. A /0 prefix is a full wildcard
+// whatever its address (Prefix.IsWildcard), so it contributes zero.
+func (m Match) ruleKey() flowKey {
+	k := flowKey{proto: m.Proto, srcPort: m.SrcPort, dstPort: m.DstPort}
+	if m.SrcIP.Bits != 0 {
+		k.src = m.SrcIP.Addr
+	}
+	if m.DstIP.Bits != 0 {
+		k.dst = m.DstIP.Addr
+	}
+	if m.InPort != AnyPort {
+		k.inPort = int32(m.InPort)
+	}
+	return k
+}
+
+// matchGroup is one tier-one hash group: every installed rule with the
+// same mask signature, keyed by its concrete tuple. A bucket holds the
+// (rare) rules with byte-identical matches, ordered best-first.
+type matchGroup struct {
+	sig     maskSig
+	buckets map[flowKey][]*FlowEntry
+	maxPrio int // upper bound over resident entries; not lowered on remove
+	size    int
+}
+
+// pktKey reduces a packet to g's key: each constrained field is copied,
+// prefix fields masked to the group's lengths.
+func (g *matchGroup) pktKey(pkt *netsim.Packet, inPort int) flowKey {
+	k := flowKey{
+		src: pkt.SrcIP.Masked(int(g.sig.srcBits)),
+		dst: pkt.DstIP.Masked(int(g.sig.dstBits)),
+	}
+	if g.sig.proto {
+		k.proto = pkt.Proto
+	}
+	if g.sig.srcPort {
+		k.srcPort = pkt.SrcPort
+	}
+	if g.sig.dstPort {
+		k.dstPort = pkt.DstPort
+	}
+	if g.sig.inPort {
+		k.inPort = int32(inPort)
+	}
+	return k
+}
+
+// beats reports whether e wins over cur (which may be nil): higher
+// priority, then earlier installation.
+func beats(e, cur *FlowEntry) bool {
+	if cur == nil {
+		return true
+	}
+	if e.Priority != cur.Priority {
+		return e.Priority > cur.Priority
+	}
+	return e.seq < cur.seq
+}
+
+// insertOrdered places e into a best-first (priority desc, seq asc) slice.
+func insertOrdered(list []*FlowEntry, e *FlowEntry) []*FlowEntry {
+	i := sort.Search(len(list), func(i int) bool { return beats(e, list[i]) })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// removeFrom cuts e out of an ordered slice (identity match).
+func removeFrom(list []*FlowEntry, e *FlowEntry) []*FlowEntry {
+	for i, x := range list {
+		if x == e {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+// expNode is one pending idle deadline. at may be stale (the entry was
+// used after scheduling); the pop path re-checks against the entry's true
+// deadline and re-arms.
+type expNode struct {
+	at sim.Time
+	e  *FlowEntry
+}
+
+// expiryHeap is a binary min-heap of idle deadlines. Removed entries
+// leave their node behind (marked via FlowEntry.removed) and are skipped
+// on pop; dead counts them so compact can bound the garbage.
+type expiryHeap struct {
+	nodes []expNode
+	dead  int
+}
+
+func (h *expiryHeap) push(at sim.Time, e *FlowEntry) {
+	h.nodes = append(h.nodes, expNode{at: at, e: e})
+	i := len(h.nodes) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.nodes[parent].at <= h.nodes[i].at {
+			break
+		}
+		h.nodes[parent], h.nodes[i] = h.nodes[i], h.nodes[parent]
+		i = parent
+	}
+}
+
+func (h *expiryHeap) pop() expNode {
+	n := h.nodes[0]
+	last := len(h.nodes) - 1
+	h.nodes[0] = h.nodes[last]
+	h.nodes[last] = expNode{}
+	h.nodes = h.nodes[:last]
+	h.siftDown(0)
+	return n
+}
+
+func (h *expiryHeap) siftDown(i int) {
+	n := len(h.nodes)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.nodes[l].at < h.nodes[small].at {
+			small = l
+		}
+		if r < n && h.nodes[r].at < h.nodes[small].at {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.nodes[i], h.nodes[small] = h.nodes[small], h.nodes[i]
+		i = small
+	}
+}
+
+// compact drops dead nodes once they outnumber live ones, keeping the
+// heap proportional to the resident idle-rule count across the
+// controller's install/remove churn.
+func (h *expiryHeap) compact() {
+	if h.dead <= len(h.nodes)/2 || len(h.nodes) < 64 {
+		return
+	}
+	live := h.nodes[:0]
+	for _, n := range h.nodes {
+		if !n.e.removed {
+			live = append(live, n)
+		}
+	}
+	for i := len(live); i < len(h.nodes); i++ {
+		h.nodes[i] = expNode{}
+	}
+	h.nodes = live
+	h.dead = 0
+	for i := len(h.nodes)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}

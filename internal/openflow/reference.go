@@ -1,0 +1,108 @@
+package openflow
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ReferenceTable is the pre-index flow table: a priority-sorted slice
+// scanned linearly on every lookup, evicting idle-expired entries as the
+// scan passes them. It is kept verbatim as the executable specification
+// of matching semantics — the differential property test runs it side by
+// side with FlowTable on randomized rule sets, and the switch-scale
+// benchmark uses it as the O(n) baseline.
+//
+// Its one known deviation is deliberate: entries shadowed by an
+// earlier match are never visited by the scan, so their idle timeout
+// never fires (the bug the deadline heap fixes). Shadowed expired
+// entries are unreturnable in both implementations, so Lookup results
+// still agree exactly.
+type ReferenceTable struct {
+	s        *sim.Simulator
+	entries  []*FlowEntry
+	seq      uint64
+	Capacity int // 0 = unlimited
+}
+
+// NewReferenceTable returns an empty linear-scan table clocked by s.
+func NewReferenceTable(s *sim.Simulator) *ReferenceTable {
+	return &ReferenceTable{s: s}
+}
+
+// Add inserts a rule and keeps the table sorted by descending priority.
+func (t *ReferenceTable) Add(e FlowEntry) (*FlowEntry, error) {
+	if t.Capacity > 0 && len(t.entries) >= t.Capacity {
+		return nil, ErrTableFull
+	}
+	t.seq++
+	e.seq = t.seq
+	e.lastUsed = t.s.Now()
+	ep := &e
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < ep.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = ep
+	return ep, nil
+}
+
+// Remove deletes all entries for which pred returns true and reports how
+// many were deleted.
+func (t *ReferenceTable) Remove(pred func(*FlowEntry) bool) int {
+	kept := t.entries[:0]
+	removed := 0
+	for _, e := range t.entries {
+		if pred(e) {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return removed
+}
+
+// RemoveCookie deletes all entries whose cookie has the given prefix.
+func (t *ReferenceTable) RemoveCookie(prefix string) int {
+	return t.Remove(func(e *FlowEntry) bool { return strings.HasPrefix(e.Cookie, prefix) })
+}
+
+// Lookup returns the matching entry for pkt on inPort, or nil on a table
+// miss, updating hit counters and evicting idle entries it passes.
+func (t *ReferenceTable) Lookup(pkt *netsim.Packet, inPort int) *FlowEntry {
+	now := t.s.Now()
+	for i := 0; i < len(t.entries); i++ {
+		e := t.entries[i]
+		if e.IdleTimeout > 0 && now-e.lastUsed > e.IdleTimeout {
+			copy(t.entries[i:], t.entries[i+1:])
+			t.entries[len(t.entries)-1] = nil
+			t.entries = t.entries[:len(t.entries)-1]
+			i--
+			continue
+		}
+		if e.Match.Covers(pkt, inPort) {
+			e.matches++
+			e.bytes += int64(pkt.Size)
+			e.lastUsed = now
+			return e
+		}
+	}
+	return nil
+}
+
+// Len returns the number of installed entries.
+func (t *ReferenceTable) Len() int { return len(t.entries) }
+
+// Entries returns a snapshot of the entries in priority order.
+func (t *ReferenceTable) Entries() []*FlowEntry {
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}

@@ -23,6 +23,7 @@ type FlowEntry struct {
 	bytes    int64
 	lastUsed sim.Time
 	seq      uint64 // insertion order, tie-break within a priority
+	removed  bool   // deleted or idle-expired; stale heap nodes check this
 }
 
 // Matches returns how many packets hit this entry.
@@ -42,19 +43,28 @@ func (e *FlowEntry) String() string {
 }
 
 // FlowTable is a priority-ordered rule table. Lookup returns the
-// highest-priority covering entry (insertion order breaks ties), lazily
-// evicting idle-expired entries. Table size is bounded by Capacity when
-// non-zero, modeling hardware TCAM limits (§4.6).
+// highest-priority covering entry (insertion order breaks ties) in O(1)
+// map probes per mask signature: rules are indexed into exact-match hash
+// groups plus a short catch-all list (see index.go), and idle expiry runs
+// off an explicit deadline heap instead of being folded into the scan.
+// Semantics are bit-identical to ReferenceTable, the linear-scan oracle.
+// Table size is bounded by Capacity when non-zero, modeling hardware TCAM
+// limits (§4.6).
 type FlowTable struct {
 	s        *sim.Simulator
-	entries  []*FlowEntry
+	entries  []*FlowEntry // priority-ordered master list
 	seq      uint64
 	Capacity int // 0 = unlimited
+
+	groups []*matchGroup // tier one, in first-installation order
+	bySig  map[maskSig]*matchGroup
+	wild   []*FlowEntry // tier two: all-wildcard rules, best-first
+	idle   expiryHeap
 }
 
 // NewFlowTable returns an empty table clocked by s.
 func NewFlowTable(s *sim.Simulator) *FlowTable {
-	return &FlowTable{s: s}
+	return &FlowTable{s: s, bySig: make(map[maskSig]*matchGroup)}
 }
 
 // ErrTableFull is returned by Add when Capacity would be exceeded.
@@ -69,13 +79,57 @@ func (t *FlowTable) Add(e FlowEntry) (*FlowEntry, error) {
 	e.seq = t.seq
 	e.lastUsed = t.s.Now()
 	ep := &e
-	i := sort.Search(len(t.entries), func(i int) bool {
-		return t.entries[i].Priority < ep.Priority
-	})
-	t.entries = append(t.entries, nil)
-	copy(t.entries[i+1:], t.entries[i:])
-	t.entries[i] = ep
+	t.entries = insertOrdered(t.entries, ep)
+	t.index(ep)
+	if ep.IdleTimeout > 0 {
+		t.idle.push(ep.lastUsed+ep.IdleTimeout, ep)
+	}
 	return ep, nil
+}
+
+// index files ep under its mask-signature group (or the wildcard list).
+func (t *FlowTable) index(ep *FlowEntry) {
+	sig := ep.Match.sig()
+	if sig == (maskSig{}) {
+		t.wild = insertOrdered(t.wild, ep)
+		return
+	}
+	g := t.bySig[sig]
+	if g == nil {
+		g = &matchGroup{sig: sig, buckets: make(map[flowKey][]*FlowEntry), maxPrio: ep.Priority}
+		t.bySig[sig] = g
+		t.groups = append(t.groups, g)
+	}
+	if ep.Priority > g.maxPrio {
+		g.maxPrio = ep.Priority
+	}
+	k := ep.Match.ruleKey()
+	g.buckets[k] = insertOrdered(g.buckets[k], ep)
+	g.size++
+}
+
+// unindex removes ep from its group or the wildcard list, and from the
+// master list. ep's pending idle node (if any) is left for the heap to
+// skip.
+func (t *FlowTable) unindex(ep *FlowEntry) {
+	ep.removed = true
+	if ep.IdleTimeout > 0 {
+		t.idle.dead++
+	}
+	sig := ep.Match.sig()
+	if sig == (maskSig{}) {
+		t.wild = removeFrom(t.wild, ep)
+		return
+	}
+	g := t.bySig[sig]
+	k := ep.Match.ruleKey()
+	b := removeFrom(g.buckets[k], ep)
+	if len(b) == 0 {
+		delete(g.buckets, k)
+	} else {
+		g.buckets[k] = b
+	}
+	g.size--
 }
 
 // Remove deletes all entries for which pred returns true and reports how
@@ -86,6 +140,7 @@ func (t *FlowTable) Remove(pred func(*FlowEntry) bool) int {
 	for _, e := range t.entries {
 		if pred(e) {
 			removed++
+			t.unindex(e)
 		} else {
 			kept = append(kept, e)
 		}
@@ -94,6 +149,7 @@ func (t *FlowTable) Remove(pred func(*FlowEntry) bool) int {
 		t.entries[i] = nil
 	}
 	t.entries = kept
+	t.idle.compact()
 	return removed
 }
 
@@ -102,36 +158,82 @@ func (t *FlowTable) RemoveCookie(prefix string) int {
 	return t.Remove(func(e *FlowEntry) bool { return strings.HasPrefix(e.Cookie, prefix) })
 }
 
-// Lookup returns the matching entry for pkt on inPort, or nil on a table
-// miss, updating hit counters and evicting idle entries it passes.
-func (t *FlowTable) Lookup(pkt *netsim.Packet, inPort int) *FlowEntry {
-	now := t.s.Now()
-	for i := 0; i < len(t.entries); i++ {
-		e := t.entries[i]
-		if e.IdleTimeout > 0 && now-e.lastUsed > e.IdleTimeout {
-			copy(t.entries[i:], t.entries[i+1:])
-			t.entries[len(t.entries)-1] = nil
-			t.entries = t.entries[:len(t.entries)-1]
-			i--
+// expireIdle evicts every entry whose idle deadline has passed. Deadlines
+// in the heap are lazily stale: an entry used since scheduling is re-armed
+// at its true deadline instead of evicted. Unlike the old scan-coupled
+// eviction this reaps entries shadowed by higher-priority rules too.
+func (t *FlowTable) expireIdle(now sim.Time) {
+	for len(t.idle.nodes) > 0 && t.idle.nodes[0].at < now {
+		n := t.idle.pop()
+		if n.e.removed {
+			t.idle.dead--
 			continue
 		}
-		if e.Match.Covers(pkt, inPort) {
-			e.matches++
-			e.bytes += int64(pkt.Size)
-			e.lastUsed = now
-			return e
+		deadline := n.e.lastUsed + n.e.IdleTimeout
+		if deadline < now {
+			t.evict(n.e)
+		} else {
+			t.idle.push(deadline, n.e)
 		}
 	}
-	return nil
+}
+
+// evict drops an idle-expired entry from the master list and the index.
+func (t *FlowTable) evict(e *FlowEntry) {
+	i := sort.Search(len(t.entries), func(i int) bool { return !beats(t.entries[i], e) })
+	for i < len(t.entries) && t.entries[i] != e {
+		i++ // identical (priority, seq) cannot repeat; defensive only
+	}
+	if i == len(t.entries) {
+		return
+	}
+	copy(t.entries[i:], t.entries[i+1:])
+	t.entries[len(t.entries)-1] = nil
+	t.entries = t.entries[:len(t.entries)-1]
+	t.unindex(e)
+	t.idle.dead-- // the node that triggered eviction is already popped
+}
+
+// Lookup returns the matching entry for pkt on inPort, or nil on a table
+// miss, updating hit counters. Expired idle entries are reaped up front,
+// then the packet is resolved with one hash probe per mask signature and
+// a peek at the wildcard list.
+func (t *FlowTable) Lookup(pkt *netsim.Packet, inPort int) *FlowEntry {
+	now := t.s.Now()
+	t.expireIdle(now)
+	var best *FlowEntry
+	for _, g := range t.groups {
+		if g.size == 0 || (best != nil && g.maxPrio < best.Priority) {
+			continue
+		}
+		if b := g.buckets[g.pktKey(pkt, inPort)]; len(b) > 0 && beats(b[0], best) {
+			best = b[0]
+		}
+	}
+	if len(t.wild) > 0 && beats(t.wild[0], best) {
+		best = t.wild[0]
+	}
+	if best == nil {
+		return nil
+	}
+	best.matches++
+	best.bytes += int64(pkt.Size)
+	best.lastUsed = now
+	return best
 }
 
 // Len returns the number of installed entries; the switch-scalability
 // experiment measures this.
 func (t *FlowTable) Len() int { return len(t.entries) }
 
-// Entries returns the live entries in priority order (shared slice; do
-// not mutate).
-func (t *FlowTable) Entries() []*FlowEntry { return t.entries }
+// Entries returns a snapshot of the entries in priority order. Mutating
+// the returned slice is safe; mutating the entries themselves is not —
+// the index files them by their match fields.
+func (t *FlowTable) Entries() []*FlowEntry {
+	out := make([]*FlowEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
 
 // GroupTable maps group IDs to ALL-type groups.
 type GroupTable struct {

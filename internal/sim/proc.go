@@ -90,10 +90,64 @@ func (p *Proc) Sleep(d Time) {
 }
 
 // waiter tracks a single blocking wait that can be woken by exactly one of
-// several sources (a value arriving, a timeout firing, ...).
+// several sources (a value arriving, a timeout firing, ...). Waiters link
+// into intrusive wait lists through next and recycle through the
+// simulator's free list, so steady-state blocking allocates nothing.
 type waiter struct {
 	p     *Proc
 	fired bool
+	timed bool    // a deadline timer closure may still hold this waiter
+	next  *waiter // wait-list / free-list link
+}
+
+// newWaiter takes a waiter off the free list, or allocates one.
+func (s *Simulator) newWaiter(p *Proc) *waiter {
+	if w := s.freeWaiters; w != nil {
+		s.freeWaiters = w.next
+		w.p, w.fired, w.next = p, false, nil
+		return w
+	}
+	return &waiter{p: p}
+}
+
+// freeWaiter recycles a waiter that has been popped from its wait list and
+// is referenced by nothing else. Timed waiters are left to the garbage
+// collector: the deadline timer armed for them captures the waiter, and a
+// stale timer firing must find fired=true, not a recycled waiter.
+func (s *Simulator) freeWaiter(w *waiter) {
+	if w.timed {
+		return
+	}
+	w.p = nil
+	w.next = s.freeWaiters
+	s.freeWaiters = w
+}
+
+// wlist is a FIFO of waiters, linked intrusively through waiter.next.
+type wlist struct {
+	head, tail *waiter
+}
+
+func (l *wlist) push(w *waiter) {
+	if l.tail == nil {
+		l.head = w
+	} else {
+		l.tail.next = w
+	}
+	l.tail = w
+}
+
+// pop unlinks and returns the oldest waiter, or nil.
+func (l *wlist) pop() *waiter {
+	w := l.head
+	if w != nil {
+		l.head = w.next
+		if l.head == nil {
+			l.tail = nil
+		}
+		w.next = nil
+	}
+	return w
 }
 
 // wake resumes the waiting process if nothing woke it yet. It must be

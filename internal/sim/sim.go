@@ -79,17 +79,18 @@ const maxFreeEvents = 4096
 // Simulator owns the virtual clock, the event queue, and the set of live
 // processes. The zero value is not usable; create one with New.
 type Simulator struct {
-	now     Time
-	heap    eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	yield   chan struct{} // a parked/finished proc hands control back here
-	parked  *Proc         // intrusive doubly-linked list of parked procs
-	free    []*event      // recycled event structs
-	nprocs  int
-	fail    error // first process failure, stops the run
-	limit   Time  // 0 = no limit
-	stopped bool
+	now         Time
+	heap        eventHeap
+	seq         uint64
+	rng         *rand.Rand
+	yield       chan struct{} // a parked/finished proc hands control back here
+	parked      *Proc         // intrusive doubly-linked list of parked procs
+	free        []*event      // recycled event structs
+	freeWaiters *waiter       // recycled wait-list nodes (see newWaiter)
+	nprocs      int
+	fail        error // first process failure, stops the run
+	limit       Time  // 0 = no limit
+	stopped     bool
 }
 
 // New returns a simulator whose random source is seeded with seed.

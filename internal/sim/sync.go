@@ -5,12 +5,18 @@ package sim
 // communication primitive of the kernel: sockets, timers and protocol
 // mailboxes are all built on it.
 //
+// The item buffer is a slice drained by a moving head index (reset when it
+// empties, so capacity is reused) and blocked processes wait on pooled
+// intrusive list nodes, which together make the steady-state
+// push/pop handoff allocation-free.
+//
 // Queue is not safe for use outside the simulation's single-threaded
 // discipline; that is by design.
 type Queue[T any] struct {
 	sim     *Simulator
 	items   []T
-	waiters []*waiter
+	head    int // items[:head] are consumed
+	waiters wlist
 	closed  bool
 }
 
@@ -20,7 +26,7 @@ func NewQueue[T any](s *Simulator) *Queue[T] {
 }
 
 // Len reports the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Push appends v and wakes the oldest waiting process, if any. It never
 // blocks and may be called from event callbacks or processes. Pushes to
@@ -41,60 +47,72 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, w := range q.waiters {
+	for w := q.waiters.pop(); w != nil; w = q.waiters.pop() {
 		w.wake()
+		q.sim.freeWaiter(w)
 	}
-	q.waiters = nil
 }
 
 func (q *Queue[T]) wakeOne() {
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		if w.wake() {
+	for {
+		w := q.waiters.pop()
+		if w == nil {
+			return
+		}
+		woke := w.wake()
+		q.sim.freeWaiter(w)
+		if woke {
 			return
 		}
 	}
 }
 
+// take removes and returns the oldest buffered item; the buffer must be
+// non-empty. Draining the last item resets the slice so its capacity is
+// reused by later pushes.
+func (q *Queue[T]) take() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release the reference for the GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // Pop blocks p until an item is available and returns it. ok is false when
 // the queue was closed and drained.
 func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 {
+	for q.Len() == 0 {
 		if q.closed {
 			return v, false
 		}
-		w := &waiter{p: p}
-		q.waiters = append(q.waiters, w)
+		q.waiters.push(q.sim.newWaiter(p))
 		p.park()
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }
 
 // PopTimeout is Pop with a deadline d from now. ok is false on timeout or
 // close.
 func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
-	if len(q.items) > 0 {
-		v = q.items[0]
-		q.items = q.items[1:]
-		return v, true
+	if q.Len() > 0 {
+		return q.take(), true
 	}
 	if q.closed || d <= 0 {
 		return v, false
 	}
 	deadline := p.sim.Now() + d
 	for {
-		w := &waiter{p: p}
-		q.waiters = append(q.waiters, w)
+		w := &waiter{p: p, timed: true}
+		q.waiters.push(w)
 		timer := p.sim.At(deadline, func() { w.wake() })
 		p.park()
 		timer.Cancel()
-		if len(q.items) > 0 {
-			v = q.items[0]
-			q.items = q.items[1:]
-			return v, true
+		if q.Len() > 0 {
+			return q.take(), true
 		}
 		if q.closed || p.sim.Now() >= deadline {
 			return v, false
@@ -105,12 +123,10 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Time) (v T, ok bool) {
 
 // TryPop removes and returns an item without blocking.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }
 
 // Future is a write-once value that processes can await. It is the
@@ -119,7 +135,7 @@ type Future[T any] struct {
 	sim     *Simulator
 	value   T
 	set     bool
-	waiters []*waiter
+	waiters wlist
 }
 
 // NewFuture returns an unresolved future bound to s.
@@ -135,10 +151,10 @@ func (f *Future[T]) Set(v T) {
 	}
 	f.value = v
 	f.set = true
-	for _, w := range f.waiters {
+	for w := f.waiters.pop(); w != nil; w = f.waiters.pop() {
 		w.wake()
+		f.sim.freeWaiter(w)
 	}
-	f.waiters = nil
 }
 
 // Done reports whether the future is resolved.
@@ -155,8 +171,7 @@ func (f *Future[T]) Value() T {
 // Wait blocks p until the future resolves and returns the value.
 func (f *Future[T]) Wait(p *Proc) T {
 	for !f.set {
-		w := &waiter{p: p}
-		f.waiters = append(f.waiters, w)
+		f.waiters.push(f.sim.newWaiter(p))
 		p.park()
 	}
 	return f.value
@@ -172,8 +187,8 @@ func (f *Future[T]) WaitTimeout(p *Proc, d Time) (v T, ok bool) {
 	}
 	deadline := p.sim.Now() + d
 	for {
-		w := &waiter{p: p}
-		f.waiters = append(f.waiters, w)
+		w := &waiter{p: p, timed: true}
+		f.waiters.push(w)
 		timer := p.sim.At(deadline, func() { w.wake() })
 		p.park()
 		timer.Cancel()
@@ -190,7 +205,7 @@ func (f *Future[T]) WaitTimeout(p *Proc, d Time) (v T, ok bool) {
 type Group struct {
 	sim     *Simulator
 	n       int
-	waiters []*waiter
+	waiters wlist
 }
 
 // NewGroup returns a group with zero outstanding work.
@@ -204,10 +219,10 @@ func (g *Group) Add(delta int) {
 		panic("sim: negative Group counter")
 	}
 	if g.n == 0 {
-		for _, w := range g.waiters {
+		for w := g.waiters.pop(); w != nil; w = g.waiters.pop() {
 			w.wake()
+			g.sim.freeWaiter(w)
 		}
-		g.waiters = nil
 	}
 }
 
@@ -217,8 +232,7 @@ func (g *Group) Done() { g.Add(-1) }
 // Wait blocks p until the counter is zero.
 func (g *Group) Wait(p *Proc) {
 	for g.n != 0 {
-		w := &waiter{p: p}
-		g.waiters = append(g.waiters, w)
+		g.waiters.push(g.sim.newWaiter(p))
 		p.park()
 	}
 }
