@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -87,10 +88,51 @@ func main() {
 		compare  = flag.Bool("compare", false, "time each figure both parallel and sequential")
 		figOut   = flag.String("figures-out", "BENCH_figures.json", "write figure wall-clock timings here (empty: skip)")
 		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
-		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip)")
+		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip running them)")
 		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
+		kernBase = flag.String("kernel-baseline", "", "compare kernel benchmarks against this JSON baseline; exit non-zero on >2x SleepWake/EventChurn regression")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here (view with: go tool pprof -top <file>)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit here")
 	)
 	flag.Parse()
+
+	// stopProfiles flushes any requested pprof output; it runs before every
+	// exit path so a failing sweep still leaves a usable profile.
+	stopProfiles := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nicebench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nicebench:", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuProf)
+		}
+	}
+	if *memProf != "" {
+		prev := stopProfiles
+		stopProfiles = func() {
+			prev()
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nicebench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "nicebench:", err)
+				return
+			}
+			fmt.Printf("wrote %s\n", *memProf)
+		}
+	}
 
 	pr := cluster.Params{Ops: *ops, Seed: *seed, Seq: *seq || !*parallel}
 	// "all" covers the paper's figures and tables; the extended
@@ -106,6 +148,7 @@ func main() {
 	ran := 0
 
 	fail := func(err error) {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "nicebench:", err)
 		os.Exit(1)
 	}
@@ -284,6 +327,7 @@ func main() {
 		fmt.Printf("-- chaos: %.2fs wall\n\n", time.Since(t0).Seconds())
 		ran++
 		if len(rep.Violating()) > 0 || !rep.DeterminismOK {
+			stopProfiles()
 			os.Exit(1)
 		}
 	}
@@ -317,17 +361,22 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *kernOut)
 		}
-		swReport := switchBenchmarks()
 		if *swOut != "" {
-			if err := writeJSON(*swOut, swReport); err != nil {
+			if err := writeJSON(*swOut, switchBenchmarks()); err != nil {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *swOut)
+		}
+		if *kernBase != "" {
+			if err := checkKernelBaseline(*kernBase, report.Benchmarks); err != nil {
+				fail(err)
+			}
 		}
 		ran++
 	}
 
 	if ran == 0 {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
@@ -340,6 +389,54 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *figOut)
 	}
+	stopProfiles()
+}
+
+// kernelGates are the benchmarks whose regression fails a -kernel-baseline
+// check; the rest are reported for information only. The 2x threshold
+// absorbs machine-to-machine variance between the committed baseline and a
+// CI runner while still catching a lost fast path.
+var kernelGates = map[string]bool{"SleepWake": true, "EventChurn": true}
+
+// checkKernelBaseline compares measured kernel benchmarks against a
+// committed baseline file and errors when a gated benchmark regressed by
+// more than 2x.
+func checkKernelBaseline(path string, got []kernelResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base kernelReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]kernelResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	var regressed []string
+	fmt.Printf("kernel benchmark delta vs %s:\n", path)
+	for _, g := range got {
+		b, ok := baseline[g.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("  %-22s %10.1f ns/op (no baseline)\n", g.Name, g.NsPerOp)
+			continue
+		}
+		ratio := g.NsPerOp / b.NsPerOp
+		gate := " "
+		if kernelGates[g.Name] {
+			gate = "*"
+		}
+		fmt.Printf("  %s %-20s %10.1f ns/op vs %10.1f baseline (%.2fx)\n",
+			gate, g.Name, g.NsPerOp, b.NsPerOp, ratio)
+		if kernelGates[g.Name] && ratio > 2 {
+			regressed = append(regressed, fmt.Sprintf("%s %.2fx", g.Name, ratio))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("kernel benchmarks regressed >2x vs %s: %s", path, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 func writeJSON(path string, v any) error {
@@ -404,6 +501,45 @@ func kernelBenchmarks() []kernelResult {
 			for i := 0; i < b.N; i++ {
 				q.Push(i)
 				p.Sleep(0)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	add("ProcChurn", func(b *testing.B) {
+		s := sim.New(1)
+		done := 0
+		child := func(q *sim.Proc) { done++ }
+		s.Spawn("driver", func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				s.Spawn("child", child)
+				p.Sleep(time.Microsecond)
+			}
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	add("BroadcastWake", func(b *testing.B) {
+		const fan = 16
+		s := sim.New(1)
+		c := sim.NewCond(s)
+		for i := 0; i < fan; i++ {
+			s.Spawn("waiter", func(p *sim.Proc) {
+				for j := 0; j < b.N; j++ {
+					c.Wait(p)
+				}
+			})
+		}
+		s.Spawn("caster", func(p *sim.Proc) {
+			for j := 0; j < b.N; j++ {
+				p.Sleep(time.Microsecond)
+				c.Broadcast()
 			}
 		})
 		b.ReportAllocs()

@@ -38,8 +38,10 @@ func BenchmarkEventChurnDeep(b *testing.B) {
 }
 
 // BenchmarkSleepWake measures one Sleep round trip of a process: timer
-// event, two channel handoffs, park-list insert/remove. The pre-bound
-// unpark callback removes the closure allocation this path used to pay.
+// event plus park-list insert/remove. With direct handoff a lone sleeper
+// drains its own wake event and resumes without any channel operation, so
+// this should sit close to EventChurn rather than paying two goroutine
+// switches per sleep.
 func BenchmarkSleepWake(b *testing.B) {
 	s := New(1)
 	done := false
@@ -83,6 +85,63 @@ func BenchmarkQueueHandoff(b *testing.B) {
 	b.ResetTimer()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcChurn measures a full spawn→run→exit cycle — the shape of
+// per-request handler processes (rpc-handle, 2pc, qread). With the spawn
+// pool the steady state re-arms a parked goroutine instead of creating a
+// goroutine and channel per cycle, and allocates nothing.
+func BenchmarkProcChurn(b *testing.B) {
+	s := New(1)
+	done := 0
+	child := func(q *Proc) { done++ }
+	s.Spawn("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			s.Spawn("child", child)
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if done != b.N {
+		b.Fatalf("ran %d of %d children", done, b.N)
+	}
+}
+
+// BenchmarkBroadcastWake measures one event waking a fan of processes at
+// once (multicast ack fan-in, Cond.Broadcast): a single batch-wake event
+// queues all waiters on the ready queue and they run back-to-back.
+// Reported ns/op covers one broadcast plus all 16 waiter round trips.
+func BenchmarkBroadcastWake(b *testing.B) {
+	const fan = 16
+	s := New(1)
+	c := NewCond(s)
+	woke := 0
+	for i := 0; i < fan; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			for j := 0; j < b.N; j++ {
+				c.Wait(p)
+				woke++
+			}
+		})
+	}
+	s.Spawn("caster", func(p *Proc) {
+		for j := 0; j < b.N; j++ {
+			p.Sleep(time.Microsecond) // let every waiter re-park
+			c.Broadcast()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if woke != fan*b.N {
+		b.Fatalf("woke %d of %d waits", woke, fan*b.N)
 	}
 }
 

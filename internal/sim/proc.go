@@ -5,20 +5,36 @@ package sim
 // event callback) executes at a time, so process code needs no locking and
 // the simulation stays deterministic.
 //
+// Control transfer is direct handoff: the scheduler is a *role*, not a
+// goroutine. Whichever goroutine just ran out of work — a parking process,
+// an exiting process, or the Run caller — drains the event heap itself
+// (Simulator.dispatch) and hands the run token straight to the next
+// runnable process with a single channel send, instead of bouncing every
+// park/unpark through a dedicated scheduler goroutine. A process whose own
+// wake event fires while it is draining the heap resumes with zero channel
+// operations. See DESIGN.md §11 for the state machine.
+//
 // A Proc may only block through the primitives in this package (Sleep,
 // Queue.Pop, Future.Wait, Cond.Wait, ...). Blocking on ordinary Go channels
 // from inside a process would stall the whole simulation.
 type Proc struct {
-	sim      *Simulator
-	name     string
-	resume   chan struct{}
-	unparkFn func() // pre-bound p.unpark, shared by every Sleep/wake
-	kill     bool   // set by Shutdown: unpark with a request to die
+	sim    *Simulator
+	name   string
+	resume chan struct{} // a send transfers the run token to this proc
+	fn     func(p *Proc) // current body; rebound on reuse from the free pool
+	wakeFn func()        // pre-bound p.enqueue, shared by every Sleep/wake
+	kill   bool          // set by Shutdown: next resume must unwind and die
 
 	// Intrusive membership in the simulator's parked list.
 	parkNext *Proc
 	parkPrev *Proc
 	isParked bool
+
+	// nextSched links this proc into exactly one of: the ready queue, a
+	// pending batch-wake chain (wakeAll), or the spawn free pool. The
+	// three states are mutually exclusive — ready and wake-chain procs are
+	// alive, pooled procs have exited.
+	nextSched *Proc
 }
 
 // killed is the panic value used to unwind a process during Shutdown.
@@ -27,28 +43,100 @@ type killed struct{}
 // Spawn starts fn as a new process. fn begins executing at the current
 // virtual time, after the currently running event or process yields. The
 // name is used in failure reports only.
+//
+// Finished processes park their goroutine in a simulator-owned free pool;
+// a Spawn that can reuse one re-arms it with the new fn instead of
+// creating a goroutine and channel, so per-request/per-connection process
+// churn is allocation-free in steady state.
 func (s *Simulator) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
-	p.unparkFn = p.unpark
 	s.nprocs++
-	go func() {
-		<-p.resume // wait for the scheduler to hand us control
-		defer func() {
-			s.nprocs--
-			if r := recover(); r != nil {
-				if _, ok := r.(killed); !ok && s.fail == nil {
-					s.fail = procFailure{proc: p, val: r}
-				}
-			}
-			s.yield <- struct{}{}
-		}()
-		if p.kill {
-			panic(killed{})
-		}
-		fn(p)
-	}()
-	s.After(0, p.unparkFn)
+	p := s.freeProcs
+	if p != nil {
+		s.freeProcs = p.nextSched
+		s.npooled--
+		p.nextSched = nil
+		p.name = name
+		p.fn = fn
+		p.kill = false // a fresh tenant never inherits a pending kill
+	} else {
+		p = &Proc{sim: s, name: name, resume: make(chan struct{}), fn: fn}
+		p.wakeFn = p.enqueue
+		go p.run()
+	}
+	s.After(0, p.wakeFn)
 	return p
+}
+
+// run is the body of a process goroutine. It outlives individual Spawns:
+// after fn returns, the goroutine returns its Proc to the simulator's free
+// pool, keeps driving the scheduler loop until it can hand the run token
+// away, and then blocks until a future Spawn re-arms it (or Shutdown kills
+// it). If its own next incarnation becomes ready while it is still
+// draining the heap, it runs the new fn directly without any channel ops.
+func (p *Proc) run() {
+	s := p.sim
+	armed := false // true when we already hold the run token (self-handoff)
+	for {
+		if !armed {
+			<-p.resume
+		}
+		armed = false
+		if p.kill {
+			// Killed while idle in the pool: acknowledge Shutdown and die.
+			s.yield <- struct{}{}
+			return
+		}
+		p.body()
+		s.nprocs--
+		p.fn = nil
+		if p.kill {
+			// killed{} unwound the body: hand the token back to Shutdown.
+			s.yield <- struct{}{}
+			return
+		}
+		pooled := false
+		if p.isParked {
+			// The body was unwound by a panic while parked (an event fired
+			// from this goroutine's scheduler loop panicked). A stale wake
+			// event in the heap may still reference p, so it cannot be
+			// reused: unlink it and let the goroutine exit below.
+			s.removeParked(p)
+		} else if s.npooled < maxFreeProcs {
+			p.nextSched = s.freeProcs
+			s.freeProcs = p
+			s.npooled++
+			pooled = true
+		}
+		// The goroutine still holds the scheduler role: keep the run going.
+		q := s.dispatch()
+		if q == p {
+			// Our own struct was re-armed by a Spawn fired from this very
+			// dispatch loop; stay hot and run the next tenant directly.
+			armed = true
+			continue
+		}
+		if q != nil {
+			q.resume <- struct{}{}
+		} else {
+			s.yield <- struct{}{}
+		}
+		if !pooled {
+			return
+		}
+	}
+}
+
+// body runs the process function, converting a panic into the simulation's
+// first failure. The killed{} unwind used by Shutdown is not a failure.
+func (p *Proc) body() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killed); !ok && p.sim.fail == nil {
+				p.sim.fail = procFailure{proc: p, val: r}
+			}
+		}
+	}()
+	p.fn(p)
 }
 
 // Sim returns the simulator the process runs under.
@@ -60,24 +148,32 @@ func (p *Proc) Name() string { return p.name }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.sim.Now() }
 
-// park suspends the process and returns control to the scheduler. It
-// returns when some event calls unpark.
+// park suspends the process. The calling goroutine takes over the
+// scheduler role and drains the event heap; if an event marks this very
+// process ready again, park returns with zero channel operations.
+// Otherwise the goroutine hands the run token to the next runnable process
+// (or back to the Run caller when the run is done) and blocks until some
+// later scheduler-role holder pops it from the ready queue.
 func (p *Proc) park() {
-	p.sim.addParked(p)
-	p.sim.yield <- struct{}{}
-	<-p.resume
+	s := p.sim
+	s.addParked(p)
+	if q := s.dispatch(); q != p {
+		if q != nil {
+			q.resume <- struct{}{}
+		} else {
+			s.yield <- struct{}{}
+		}
+		<-p.resume
+	}
 	if p.kill {
 		panic(killed{})
 	}
 }
 
-// unpark resumes a parked process and blocks the scheduler until the
-// process parks again or finishes. Must be called from event context.
-func (p *Proc) unpark() {
-	p.sim.removeParked(p)
-	p.resume <- struct{}{}
-	<-p.sim.yield
-}
+// enqueue moves the process from parked to the tail of the ready queue. It
+// is the pre-bound callback behind every Sleep timer and waiter wake, so
+// waking stays allocation-free.
+func (p *Proc) enqueue() { p.sim.readyPush(p) }
 
 // Sleep suspends the process for d of virtual time. A non-positive d still
 // yields, resuming at the current instant after already-scheduled events.
@@ -85,7 +181,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.sim.After(d, p.unparkFn)
+	p.sim.After(d, p.wakeFn)
 	p.park()
 }
 
@@ -157,6 +253,47 @@ func (w *waiter) wake() bool {
 		return false
 	}
 	w.fired = true
-	w.p.sim.After(0, w.p.unparkFn)
+	w.p.sim.After(0, w.p.wakeFn)
 	return true
+}
+
+// wakeAll fires every un-fired waiter on l in one pass: the waiting
+// processes are chained through nextSched and a single event moves the
+// whole chain to the ready queue in FIFO order. A broadcast that used to
+// schedule one wake event per waiter (multicast ack fan-in, Queue.Close,
+// Cond.Broadcast) now schedules exactly one, and the woken processes run
+// back-to-back — same order as the per-waiter events produced, since
+// those occupied consecutive sequence numbers that nothing could
+// interleave with.
+func (s *Simulator) wakeAll(l *wlist) {
+	var head, tail *Proc
+	for w := l.pop(); w != nil; w = l.pop() {
+		if !w.fired {
+			w.fired = true
+			if tail == nil {
+				head = w.p
+			} else {
+				tail.nextSched = w.p
+			}
+			tail = w.p
+		}
+		s.freeWaiter(w)
+	}
+	if head != nil {
+		tail.nextSched = nil
+		s.At2(s.now, wakeChain, head, nil)
+	}
+}
+
+// wakeChain is the static batch-wake callback: it readies every proc in
+// the chain built by wakeAll, preserving FIFO order.
+func wakeChain(a1, _ any) {
+	p := a1.(*Proc)
+	s := p.sim
+	for p != nil {
+		next := p.nextSched
+		p.nextSched = nil
+		s.readyPush(p)
+		p = next
+	}
 }

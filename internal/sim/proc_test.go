@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShutdownAfterProcHeldSchedulerRole drives a run whose final
+// scheduler-role holder is a process goroutine (the last event fires from
+// an exiting proc's dispatch loop, which hands the run token back to the
+// Run caller), then shuts down. Both the still-parked process and the
+// pooled exited goroutine must be reaped without deadlock.
+func TestShutdownAfterProcHeldSchedulerRole(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s)
+	s.Spawn("consumer", func(p *Proc) { q.Pop(p) }) // parks forever
+	s.Spawn("producer", func(p *Proc) {
+		p.Sleep(ms(5)) // ensure the consumer parked first
+		// Exit without pushing: this goroutine drains the (empty) heap
+		// while the consumer stays parked, then yields to Run's caller.
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveProcs() != 1 {
+		t.Fatalf("LiveProcs = %d, want 1 (parked consumer)", s.LiveProcs())
+	}
+	s.Shutdown()
+	if s.LiveProcs() != 0 {
+		t.Fatalf("after Shutdown LiveProcs = %d, want 0", s.LiveProcs())
+	}
+}
+
+// TestShutdownAfterStopFromProc stops the run from process context — the
+// stopping process's own dispatch loop observes the flag and hands the
+// token back — and then reaps everything.
+func TestShutdownAfterStopFromProc(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s)
+	for i := 0; i < 3; i++ {
+		s.Spawn("stuck", func(p *Proc) { q.Pop(p) })
+	}
+	s.Spawn("stopper", func(p *Proc) {
+		p.Sleep(ms(1))
+		s.Stop()
+		p.Sleep(ms(1)) // parks; its dispatch sees stopped and yields
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveProcs() != 4 {
+		t.Fatalf("LiveProcs = %d, want 4", s.LiveProcs())
+	}
+	s.Shutdown()
+	if s.LiveProcs() != 0 {
+		t.Fatalf("after Shutdown LiveProcs = %d, want 0", s.LiveProcs())
+	}
+}
+
+// TestProcPanicMidHandoff panics a process right after it has woken
+// another one (the wake event is still pending when the failure unwinds).
+// The failure must be captured as a procFailure naming the panicking
+// process, and Shutdown must still reap the parked peer.
+func TestProcPanicMidHandoff(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s)
+	s.Spawn("peer", func(p *Proc) { q.Pop(p); q.Pop(p) })
+	s.Spawn("bomber", func(p *Proc) {
+		p.Sleep(ms(1))
+		q.Push(7) // wakes the peer's waiter: its wake event is now pending
+		panic("boom")
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("expected failure from panicking process")
+	}
+	if !strings.Contains(err.Error(), "bomber") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("failure = %v, want procFailure naming bomber/boom", err)
+	}
+	s.Shutdown()
+	if s.LiveProcs() != 0 {
+		t.Fatalf("after Shutdown LiveProcs = %d, want 0", s.LiveProcs())
+	}
+}
+
+// TestSpawnPoolReusesGoroutine proves the spawn pool works: a process that
+// ran to completion donates its struct (and goroutine) to the next Spawn,
+// and the new tenant starts with a clean slate.
+func TestSpawnPoolReusesGoroutine(t *testing.T) {
+	s := New(1)
+	first := s.Spawn("first", func(p *Proc) {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	second := s.Spawn("second", func(p *Proc) {
+		ran = true
+		if p.Name() != "second" {
+			t.Errorf("reused proc name = %q, want %q", p.Name(), "second")
+		}
+	})
+	if second != first {
+		t.Fatalf("Spawn did not reuse the pooled proc (got %p, want %p)", second, first)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("pooled proc never ran its new fn")
+	}
+	s.Shutdown()
+}
+
+// TestSpawnPoolNoKillLeak exercises the kill flag across pool generations:
+// a simulator whose processes were killed by Shutdown must not bleed kill
+// state into an unrelated simulator's pool, and within one simulator a
+// pooled struct re-armed by Spawn must run (kill reset), even when the
+// previous tenant's sibling was killed.
+func TestSpawnPoolNoKillLeak(t *testing.T) {
+	s := New(1)
+	q := NewQueue[int](s)
+	s.Spawn("victim", func(p *Proc) { q.Pop(p) }) // will be killed
+	s.Spawn("clean", func(p *Proc) {})            // exits, pooled
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the pooled "clean" struct before any Shutdown: must run.
+	ran := 0
+	s.Spawn("tenant2", func(p *Proc) { ran++ })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("pooled reuse ran %d times, want 1", ran)
+	}
+	// Kill the parked victim plus the pooled goroutine; everything exits.
+	s.Shutdown()
+	if s.LiveProcs() != 0 {
+		t.Fatalf("after Shutdown LiveProcs = %d, want 0", s.LiveProcs())
+	}
+}
+
+// TestShutdownReapsPooledGoroutines checks that Shutdown terminates idle
+// pool goroutines, not just parked processes, so a torn-down simulator
+// leaks nothing.
+func TestShutdownReapsPooledGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(1)
+	for i := 0; i < 8; i++ {
+		s.Spawn("worker", func(p *Proc) { p.Sleep(ms(1)) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Shutdown()
+	// Goroutine exit is asynchronous after the shutdown handshake; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: %d now, %d before", runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCondSignalBroadcast covers the Cond primitive: Signal wakes exactly
+// the oldest waiter, Broadcast wakes the rest in FIFO order, and an event
+// scheduled after the Broadcast runs only once every waiter has resumed —
+// the batch wake occupies the broadcaster's position in the event order.
+func TestCondSignalBroadcast(t *testing.T) {
+	s := New(1)
+	c := NewCond(s)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.At(ms(10), func() { c.Signal() })
+	s.At(ms(20), func() {
+		c.Broadcast()
+		s.At(s.Now(), func() { order = append(order, "after") })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "after"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestFutureBroadcastOrder pins the batch-wake ordering contract: waiters
+// resume in wait order, before any event scheduled after the Set.
+func TestFutureBroadcastOrder(t *testing.T) {
+	s := New(1)
+	f := NewFuture[int](s)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Spawn("w", func(p *Proc) {
+			f.Wait(p)
+			order = append(order, i)
+		})
+	}
+	s.At(ms(5), func() {
+		f.Set(1)
+		s.At(s.Now(), func() { order = append(order, 99) })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 99}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

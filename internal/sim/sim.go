@@ -76,6 +76,10 @@ func (h *eventHeap) Pop() any {
 // warm-up) does not pin memory for the rest of the run.
 const maxFreeEvents = 4096
 
+// maxFreeProcs bounds the spawn pool: exited processes beyond this many
+// let their goroutines exit instead of idling for re-arm.
+const maxFreeProcs = 1024
+
 // Simulator owns the virtual clock, the event queue, and the set of live
 // processes. The zero value is not usable; create one with New.
 type Simulator struct {
@@ -83,15 +87,25 @@ type Simulator struct {
 	heap        eventHeap
 	seq         uint64
 	rng         *rand.Rand
-	yield       chan struct{} // a parked/finished proc hands control back here
+	yield       chan struct{} // the run token returns to the Run/Shutdown caller
 	parked      *Proc         // intrusive doubly-linked list of parked procs
-	free        []*event      // recycled event structs
-	freeWaiters *waiter       // recycled wait-list nodes (see newWaiter)
+	readyHead   *Proc         // FIFO of woken procs awaiting their turn
+	readyTail   *Proc
+	freeProcs   *Proc // exited procs whose goroutines await re-arm (Spawn pool)
+	npooled     int
+	free        []*event // recycled event structs
+	freeWaiters *waiter  // recycled wait-list nodes (see newWaiter)
 	nprocs      int
 	fail        error // first process failure, stops the run
 	limit       Time  // 0 = no limit
+	bound       Time  // precomputed per-run stop time: until, limit, or maxTime
+	untilActive bool
 	stopped     bool
 }
+
+// maxTime is the largest virtual timestamp; it stands in for "no bound" so
+// the dispatch loop needs just one comparison per event.
+const maxTime = Time(1<<63 - 1)
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
@@ -210,6 +224,73 @@ func (f procFailure) Error() string {
 	return fmt.Sprintf("sim: process %q panicked: %v", f.proc.name, f.val)
 }
 
+// readyPush appends p to the ready queue: p stops being parked and will
+// run, in FIFO order, before the scheduler fires any further event.
+func (s *Simulator) readyPush(p *Proc) {
+	s.removeParked(p)
+	p.nextSched = nil
+	if s.readyTail == nil {
+		s.readyHead = p
+	} else {
+		s.readyTail.nextSched = p
+	}
+	s.readyTail = p
+}
+
+// readyPop unlinks and returns the oldest ready proc, or nil.
+func (s *Simulator) readyPop() *Proc {
+	p := s.readyHead
+	if p == nil {
+		return nil
+	}
+	s.readyHead = p.nextSched
+	if s.readyHead == nil {
+		s.readyTail = nil
+	}
+	p.nextSched = nil
+	return p
+}
+
+// dispatch is the scheduler loop. The calling goroutine must hold the run
+// token; it fires due events until a process becomes ready — returned to
+// the caller, which transfers control to it — or the current run is done
+// (nil). Ready processes run before any further event fires: an event
+// that wakes several processes (wakeAll) queues them all and they execute
+// back-to-back in FIFO order.
+func (s *Simulator) dispatch() *Proc {
+	for {
+		if p := s.readyPop(); p != nil {
+			return p
+		}
+		if s.fail != nil || s.stopped || len(s.heap) == 0 {
+			return nil
+		}
+		if s.heap[0].at > s.bound {
+			if !s.untilActive {
+				s.now = s.limit // Run hit SetLimit: clock lands on the limit
+			}
+			return nil
+		}
+		e := heap.Pop(&s.heap).(*event)
+		if e.dead {
+			s.freeEvent(e)
+			continue
+		}
+		s.fire(e)
+	}
+}
+
+// drive drains the simulation from the caller's goroutine. If control is
+// handed to a process, the caller blocks until the run token comes back —
+// which only happens once the run is done, since intermediate transfers go
+// process-to-process.
+func (s *Simulator) drive() {
+	if q := s.dispatch(); q != nil {
+		q.resume <- struct{}{}
+		<-s.yield
+	}
+}
+
 // Run executes events until the queue is empty, the time limit (if any set
 // with SetLimit) is reached, or a process panics. It returns the first
 // process failure, or nil.
@@ -221,18 +302,13 @@ func (f procFailure) Error() string {
 // Shutdown to reap their goroutines.
 func (s *Simulator) Run() error {
 	s.stopped = false
-	for len(s.heap) > 0 && s.fail == nil && !s.stopped {
-		if s.limit > 0 && s.heap[0].at > s.limit {
-			s.now = s.limit
-			return s.fail
-		}
-		e := heap.Pop(&s.heap).(*event)
-		if e.dead {
-			s.freeEvent(e)
-			continue
-		}
-		s.fire(e)
+	s.untilActive = false
+	if s.limit > 0 {
+		s.bound = s.limit
+	} else {
+		s.bound = maxTime
 	}
+	s.drive()
 	return s.fail
 }
 
@@ -241,17 +317,10 @@ func (s *Simulator) Run() error {
 // a Stop call from inside an event ends the pass after that event.
 func (s *Simulator) RunUntil(t Time) error {
 	s.stopped = false
-	for len(s.heap) > 0 && s.fail == nil && !s.stopped {
-		if s.heap[0].at > t {
-			break
-		}
-		e := heap.Pop(&s.heap).(*event)
-		if e.dead {
-			s.freeEvent(e)
-			continue
-		}
-		s.fire(e)
-	}
+	s.bound = t
+	s.untilActive = true
+	s.drive()
+	s.untilActive = false
 	if s.fail == nil && t > s.now {
 		s.now = t
 	}
@@ -302,12 +371,24 @@ func (s *Simulator) removeParked(p *Proc) {
 	p.isParked = false
 }
 
-// Shutdown terminates every parked process so their goroutines exit. It is
-// safe to call after Run returns; the simulator must not be used afterward.
+// Shutdown terminates every parked process and every pooled idle goroutine
+// so nothing is left running. It is safe to call after Run returns —
+// including a run whose last scheduler-role holder was a process; by the
+// time Run returns, the run token is back with its caller. The simulator
+// must not be used afterward.
 func (s *Simulator) Shutdown() {
 	for s.parked != nil {
 		p := s.parked
 		s.removeParked(p)
+		p.kill = true
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+	for s.freeProcs != nil {
+		p := s.freeProcs
+		s.freeProcs = p.nextSched
+		p.nextSched = nil
+		s.npooled--
 		p.kill = true
 		p.resume <- struct{}{}
 		<-s.yield

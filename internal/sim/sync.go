@@ -41,16 +41,14 @@ func (q *Queue[T]) Push(v T) {
 }
 
 // Close marks the queue closed: blocked and future Pops return ok=false
-// once the buffer drains, and later pushes are dropped.
+// once the buffer drains, and later pushes are dropped. All waiters are
+// released by one batch-wake event.
 func (q *Queue[T]) Close() {
 	if q.closed {
 		return
 	}
 	q.closed = true
-	for w := q.waiters.pop(); w != nil; w = q.waiters.pop() {
-		w.wake()
-		q.sim.freeWaiter(w)
-	}
+	q.sim.wakeAll(&q.waiters)
 }
 
 func (q *Queue[T]) wakeOne() {
@@ -143,18 +141,16 @@ func NewFuture[T any](s *Simulator) *Future[T] {
 	return &Future[T]{sim: s}
 }
 
-// Set resolves the future and wakes all waiters. Resolving twice panics:
-// it would indicate a protocol bug.
+// Set resolves the future and wakes all waiters with one batch-wake
+// event (the fan-in pattern: many processes awaiting one reply). Resolving
+// twice panics: it would indicate a protocol bug.
 func (f *Future[T]) Set(v T) {
 	if f.set {
 		panic("sim: Future resolved twice")
 	}
 	f.value = v
 	f.set = true
-	for w := f.waiters.pop(); w != nil; w = f.waiters.pop() {
-		w.wake()
-		f.sim.freeWaiter(w)
-	}
+	f.sim.wakeAll(&f.waiters)
 }
 
 // Done reports whether the future is resolved.
@@ -219,10 +215,7 @@ func (g *Group) Add(delta int) {
 		panic("sim: negative Group counter")
 	}
 	if g.n == 0 {
-		for w := g.waiters.pop(); w != nil; w = g.waiters.pop() {
-			w.wake()
-			g.sim.freeWaiter(w)
-		}
+		g.sim.wakeAll(&g.waiters)
 	}
 }
 
@@ -236,3 +229,40 @@ func (g *Group) Wait(p *Proc) {
 		p.park()
 	}
 }
+
+// Cond is a condition variable for processes: Wait parks until a later
+// Signal or Broadcast. There is no associated lock — the simulation's
+// single-threaded discipline replaces it — so the idiom is simply to
+// re-check the guarded predicate after every Wait.
+type Cond struct {
+	sim     *Simulator
+	waiters wlist
+}
+
+// NewCond returns a condition variable bound to s.
+func NewCond(s *Simulator) *Cond { return &Cond{sim: s} }
+
+// Wait parks p until the next Signal or Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters.push(c.sim.newWaiter(p))
+	p.park()
+}
+
+// Signal wakes the oldest waiting process, if any.
+func (c *Cond) Signal() {
+	for {
+		w := c.waiters.pop()
+		if w == nil {
+			return
+		}
+		woke := w.wake()
+		c.sim.freeWaiter(w)
+		if woke {
+			return
+		}
+	}
+}
+
+// Broadcast wakes every waiting process with one batch-wake event; the
+// waiters run back-to-back in FIFO order off the ready queue.
+func (c *Cond) Broadcast() { c.sim.wakeAll(&c.waiters) }
