@@ -90,6 +90,8 @@ func main() {
 		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
 		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip running them)")
 		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
+		trafOut  = flag.String("traffic-out", "BENCH_traffic.json", "write heavytraffic sweep results here (empty: skip)")
+		trafSize = flag.String("traffic-sizes", "", "comma-separated virtual-client fleet sizes for -experiment heavytraffic (default 10000,100000,1000000)")
 		kernBase = flag.String("kernel-baseline", "", "compare kernel benchmarks against this JSON baseline; exit non-zero on >2x SleepWake/EventChurn regression")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here (view with: go tool pprof -top <file>)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit here")
@@ -138,7 +140,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -331,6 +333,38 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if want("heavytraffic") {
+		sizes, err := parseSizes(*trafSize)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		cells, err := cluster.HeavyTrafficSweep(pr, sizes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("heavytraffic: open-loop fleet sweep (aggregate offered load held constant)")
+		fmt.Printf("%-16s %9s %11s %11s %9s %9s %8s %8s\n",
+			"system", "clients", "offered/s", "achieved/s", "p50us", "p99us", "timeout", "cachehit")
+		for _, c := range cells {
+			fmt.Printf("%-16s %9d %11.0f %11.0f %9.1f %9.1f %7.2f%% %7.2f%%\n",
+				c.System, c.Clients, c.Offered, c.Achieved, c.P50Micros, c.P99Micros,
+				100*c.TimeoutFrac, 100*c.CacheHit)
+		}
+		fmt.Printf("-- heavytraffic: %.2fs wall\n\n", time.Since(t0).Seconds())
+		if *trafOut != "" {
+			report := struct {
+				Env   benchEnv              `json:"env"`
+				Seed  int64                 `json:"seed"`
+				Cells []cluster.TrafficCell `json:"cells"`
+			}{env(), *seed, cells}
+			if err := writeJSON(*trafOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *trafOut)
+		}
+		ran++
+	}
 	if want("fabric") {
 		fig, err := cluster.FabricComparison(pr)
 		if err != nil {
@@ -377,7 +411,7 @@ func main() {
 
 	if ran == 0 {
 		stopProfiles()
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}
@@ -396,7 +430,12 @@ func main() {
 // check; the rest are reported for information only. The 2x threshold
 // absorbs machine-to-machine variance between the committed baseline and a
 // CI runner while still catching a lost fast path.
-var kernelGates = map[string]bool{"SleepWake": true, "EventChurn": true}
+var kernelGates = map[string]bool{
+	"SleepWake":     true,
+	"EventChurn":    true,
+	"QueueHandoff":  true,
+	"BroadcastWake": true,
+}
 
 // checkKernelBaseline compares measured kernel benchmarks against a
 // committed baseline file and errors when a gated benchmark regressed by
@@ -437,6 +476,23 @@ func checkKernelBaseline(path string, got []kernelResult) error {
 		return fmt.Errorf("kernel benchmarks regressed >2x vs %s: %s", path, strings.Join(regressed, ", "))
 	}
 	return nil
+}
+
+// parseSizes parses the -traffic-sizes list; empty means the sweep's
+// default 10^4..10^6 decades.
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -traffic-sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 func writeJSON(path string, v any) error {

@@ -44,6 +44,12 @@ type chaosSystem struct {
 	// maxOutages overrides the generator's concurrent-outage cap when
 	// non-zero.
 	maxOutages int
+	// leafspine builds the cell on the four-leaf spine fabric instead of
+	// the single-switch deployment.
+	leafspine bool
+	// traffic (implies leafspine) runs the open-loop engine offering
+	// background load while the chaos clients record the checked history.
+	traffic bool
 }
 
 // chaosSystems returns the tested configurations. The quorum system runs
@@ -66,6 +72,14 @@ func chaosSystems() []chaosSystem {
 			o.CacheDecayEvery = 200 * time.Millisecond
 		}},
 		{name: "NICEKV+quorum", tune: func(o *Options) { o.QuorumK = 2 }, maxOutages: 1},
+		// The heavytraffic cell answers "does the open-loop engine change
+		// what the checker sees?": same invariants, but every fault lands
+		// while thousands of virtual-client gets are crossing the same
+		// leaf-spine fabric as the recorded history.
+		{name: "NICEKV+heavytraffic", tune: func(o *Options) {
+			o.LoadBalance = true
+			o.TrafficGateways = true
+		}, traffic: true},
 	}
 }
 
@@ -160,6 +174,10 @@ type ChaosCell struct {
 	// hashes.
 	Hash       uint64
 	Violations []checker.Violation
+	// TrafficOps counts open-loop engine requests issued alongside the
+	// chaos clients (zero for systems without background traffic); it is
+	// part of the determinism recheck.
+	TrafficOps int64
 }
 
 // Repro is the one-line reproduction command for this cell.
@@ -174,12 +192,36 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 	cell := ChaosCell{System: sys.name, Schedule: sched}
 	opts := chaosOptions(sched.Seed)
 	sys.tune(&opts)
-	d := NewNICE(opts)
+	var d *NICE
+	if sys.traffic || sys.leafspine {
+		d = NewNICELeafSpine(opts, 4)
+	} else {
+		d = NewNICE(opts)
+	}
 	defer d.Close()
 	if err := d.Settle(); err != nil {
 		return cell, err
 	}
 	faultinject.Install(d.Sim, newNiceFabric(d), sched)
+
+	var eng *TrafficEngine
+	if sys.traffic {
+		eng = NewTrafficEngine(d, TrafficOptions{
+			Clients:  2000,
+			Rate:     20_000,
+			Duration: chaosHorizon,
+			Records:  512,
+			Seed:     sched.Seed,
+		})
+		d.Sim.Spawn("chaos-traffic", func(p *sim.Proc) {
+			// Preload shares the chaos clients (ops multiplex by ReqID);
+			// if faults beat it, the cell still runs its checked workload.
+			if eng.Preload(p) != nil {
+				return
+			}
+			eng.Run(p)
+		})
+	}
 
 	hist := &checker.History{}
 	failed := 0
@@ -231,6 +273,9 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 	cell.Failed = failed
 	cell.Hash = hist.Hash()
 	cell.Violations = hist.Check()
+	if eng != nil {
+		cell.TrafficOps = eng.issued
+	}
 	return cell, nil
 }
 
@@ -282,15 +327,21 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== chaos: %d fault schedules per system ==\n", r.Schedules)
 	for si, name := range r.Systems {
 		ops, failed, faults, bad := 0, 0, 0, 0
+		traffic := int64(0)
 		for i := si * r.Schedules; i < (si+1)*r.Schedules; i++ {
 			c := &r.Cells[i]
 			ops += c.Ops
 			failed += c.Failed
 			faults += len(c.Schedule.Events)
 			bad += len(c.Violations)
+			traffic += c.TrafficOps
 		}
-		fmt.Fprintf(w, "%-14s ops=%-6d failed=%-5d faults=%-4d violations=%d\n",
+		fmt.Fprintf(w, "%-20s ops=%-6d failed=%-5d faults=%-4d violations=%d",
 			name, ops, failed, faults, bad)
+		if traffic > 0 {
+			fmt.Fprintf(w, " traffic=%d", traffic)
+		}
+		fmt.Fprintln(w)
 	}
 	if r.DeterminismOK {
 		fmt.Fprintf(w, "determinism: replayed schedule 0 of each system, histories identical\n")
@@ -335,10 +386,11 @@ func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if again.Hash != first.Hash {
+		if again.Hash != first.Hash || again.TrafficOps != first.TrafficOps {
 			rep.DeterminismOK = false
 			rep.Mismatches = append(rep.Mismatches,
-				fmt.Sprintf("%s: hash %x vs replay %x (%s)", sys.name, first.Hash, again.Hash, first.Repro()))
+				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d (%s)",
+					sys.name, first.Hash, again.Hash, first.TrafficOps, again.TrafficOps, first.Repro()))
 		}
 	}
 	return rep, nil

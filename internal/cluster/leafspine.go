@@ -7,6 +7,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/switchcache"
 	"repro/internal/transport"
 )
 
@@ -24,8 +25,12 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 	nw := netsim.NewNetwork(s)
 	d := &NICE{Opts: opts, Sim: s, Net: nw, Space: ring.NewSpace(opts.Nodes)}
 
-	// Hosts per leaf: nodes + meta + clients, rounded up.
+	// Hosts per leaf: nodes + meta + clients, rounded up; plus one port
+	// for the leaf's traffic gateway when requested.
 	perLeaf := (opts.Nodes+opts.Clients+1+leaves-1)/leaves + 1
+	if opts.TrafficGateways {
+		perLeaf++
+	}
 
 	spineSw := nw.NewSwitch("spine", leaves, opts.SwitchLatency)
 	spine := openflow.Attach(spineSw, opts.CtrlDelay)
@@ -45,18 +50,19 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 		leafDPs[i] = &leafInfo{dp: dp, next: 1}
 	}
 	hostCount := 0
-	place := func(h *netsim.Host) {
+	place := func(h *netsim.Host) *netsim.Link {
 		li := leafDPs[hostCount%leaves]
 		hostCount++
-		nw.Connect(h.Port(), li.dp.Switch().Port(li.next), opts.Link)
+		l := nw.Connect(h.Port(), li.dp.Switch().Port(li.next), opts.Link)
 		topo.AttachHost(li.dp, h.IP(), li.next)
 		li.next++
+		return l
 	}
 
 	var addrs []controller.NodeAddr
 	for i := 0; i < opts.Nodes; i++ {
 		h := nw.NewHost("node"+itoa(i), netsim.IPv4(10, 0, byte(i>>8), byte(i&0xff)).Add(1))
-		place(h)
+		d.NodeLinks = append(d.NodeLinks, place(h))
 		st := transport.NewStack(h)
 		d.Stacks = append(d.Stacks, st)
 		addrs = append(addrs, controller.NodeAddr{
@@ -76,6 +82,22 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 		place(h)
 		d.CStacks = append(d.CStacks, transport.NewStack(h))
 	}
+	if opts.TrafficGateways {
+		// One open-loop traffic gateway per leaf, pinned to its leaf (not
+		// round-robin placed): the engine's return route sends every
+		// client-space-addressed packet entering a leaf to that leaf's
+		// gateway, so each gateway must terminate its own leaf's flows.
+		for i := 0; i < leaves; i++ {
+			li := leafDPs[i]
+			h := nw.NewHost("gw"+itoa(i), netsim.IPv4(10, 20, 0, byte(i+1)))
+			nw.Connect(h.Port(), li.dp.Switch().Port(li.next), opts.Link)
+			topo.AttachHost(li.dp, h.IP(), li.next)
+			d.Gateways = append(d.Gateways, Gateway{
+				Stack: transport.NewStack(h), Leaf: li.dp, Port: li.next,
+			})
+			li.next++
+		}
+	}
 
 	cfg := controller.DefaultConfig()
 	cfg.Placement = ring.NewPlacement(opts.Nodes, opts.R)
@@ -87,10 +109,36 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 	cfg.DynamicLB = opts.DynamicLB
 	cfg.ClientSpace = netsim.MustParsePrefix("192.168.0.0/16")
 	cfg.CtrlPort = MetaPort
+	d.Unicast = cfg.Unicast
 	d.Service = controller.New(metaStack, topo, cfg, addrs)
 	d.Service.Start()
 	for _, cst := range d.CStacks {
 		d.Service.RegisterHost(cst.IP(), cst.Host().MAC())
+	}
+	for _, g := range d.Gateways {
+		d.Service.RegisterHost(g.Stack.IP(), g.Stack.Host().MAC())
+	}
+
+	// In-switch hot-key cache on the spine: the aggregation point every
+	// inter-leaf get traverses (rack-local requests bypass it, as a real
+	// spine cache would be bypassed).
+	if opts.Cache {
+		ccfg := switchcache.DefaultConfig(opts.CtrlDelay)
+		if opts.CacheCapacity > 0 {
+			ccfg.Capacity = opts.CacheCapacity
+		}
+		if opts.CacheSampleEvery > 0 {
+			ccfg.SampleEvery = opts.CacheSampleEvery
+		}
+		d.Cache = switchcache.Attach(d.Core, core.CacheCodec{DataPort: DataPort}, ccfg)
+		mcfg := controller.DefaultCacheManagerConfig()
+		if opts.CacheHotThreshold > 0 {
+			mcfg.HotThreshold = opts.CacheHotThreshold
+		}
+		if opts.CacheDecayEvery > 0 {
+			mcfg.DecayEvery = opts.CacheDecayEvery
+		}
+		d.CacheMgr = d.Service.EnableCache(d.Cache, mcfg)
 	}
 
 	for i := 0; i < opts.Nodes; i++ {
@@ -103,6 +151,10 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 		ncfg.Disk = opts.Disk
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
+		if d.Cache != nil {
+			ncfg.Cache = d.Cache
+			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut
+		}
 		node := core.NewNode(d.Stacks[i], ncfg)
 		node.Start()
 		d.Nodes = append(d.Nodes, node)

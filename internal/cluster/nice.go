@@ -70,6 +70,9 @@ type Options struct {
 	CacheDecayEvery sim.Time
 	// CacheUpdateOnPut selects write-update over write-invalidate.
 	CacheUpdateOnPut bool
+	// TrafficGateways attaches one open-loop traffic gateway host per
+	// leaf (NewNICELeafSpine only); see internal/cluster/traffic.go.
+	TrafficGateways bool
 }
 
 // probeCPU, when non-zero, overrides CPUPerOp (test instrumentation).
@@ -133,6 +136,8 @@ type NICE struct {
 	Clients  []*core.Client
 	CStacks  []*transport.Stack
 	Space    ring.Space
+	Unicast  ring.VRing               // the clients' unicast request ring
+	Gateways []Gateway                // traffic gateways (leaf-spine only)
 	Cache    *switchcache.Cache       // nil unless Opts.Cache
 	CacheMgr *controller.CacheManager // nil unless Opts.Cache
 	// NodeLinks[i] is storage node i's access link (fault injection cuts
@@ -240,6 +245,7 @@ func NewNICE(opts Options) *NICE {
 	if opts.Standby {
 		cfg.StandbyIP = standbyStack.IP()
 	}
+	d.Unicast = cfg.Unicast
 	d.Service = controller.New(metaStack, topo, cfg, addrs)
 	d.Service.Start()
 	if opts.Standby {

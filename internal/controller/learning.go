@@ -21,10 +21,14 @@ const maxPendingPerAddr = 64
 // physical address the controller has not located yet — those are
 // buffered while an ARP request is broadcast.
 func (svc *Service) PacketIn(dp *openflow.Datapath, pkt *netsim.Packet, inPort int) {
+	// A punted packet is the controller's to dispose: every branch below
+	// either buffers it in svc.pending or recycles it on the way out.
+	net := dp.Switch().Network()
 	if pkt.Proto == netsim.ProtoARP {
 		if arp, ok := pkt.Payload.(*netsim.ARPPayload); ok && arp.Op == netsim.ARPReply {
 			svc.learn(arp.SenderIP, arp.Sender)
 		}
+		net.RecyclePacket(pkt)
 		return
 	}
 	// A vnode address: install (or refresh) that partition's vring
@@ -41,10 +45,12 @@ func (svc *Service) PacketIn(dp *openflow.Datapath, pkt *netsim.Packet, inPort i
 			out.DstMAC = primary.MAC
 			dp.PacketOut(out, port)
 		}
+		net.RecyclePacket(pkt)
 		return
 	}
 	if part, ok := svc.cfg.Multicast.PartitionOfAddr(pkt.DstIP); ok {
 		svc.installPartition(part)
+		net.RecyclePacket(pkt)
 		return
 	}
 	if loc, ok := svc.known[pkt.DstIP]; ok {
@@ -55,12 +61,15 @@ func (svc *Service) PacketIn(dp *openflow.Datapath, pkt *netsim.Packet, inPort i
 			out.DstMAC = loc.mac
 			dp.PacketOut(out, port)
 		}
+		net.RecyclePacket(pkt)
 		return
 	}
 	// Unknown destination: buffer and resolve.
 	q := svc.pending[pkt.DstIP]
 	if len(q) < maxPendingPerAddr {
 		svc.pending[pkt.DstIP] = append(q, pendingPkt{dp: dp, pkt: pkt, inPort: inPort})
+	} else {
+		net.RecyclePacket(pkt) // buffer full: this one is dropped
 	}
 	if last, ok := svc.arped[pkt.DstIP]; ok && svc.s.Now()-last < arpQuiet {
 		return
@@ -100,5 +109,6 @@ func (svc *Service) learn(ip netsim.IP, mac netsim.MAC) {
 			out.DstMAC = mac
 			pp.dp.PacketOut(out, port)
 		}
+		pp.dp.Switch().Network().RecyclePacket(pp.pkt)
 	}
 }

@@ -21,6 +21,10 @@ const (
 	ctrlMsgSize   = 128 // node-to-controller datagrams
 )
 
+// GetReqSize is the wire size of one get request datagram, exported for
+// traffic generators that craft GetRequests without a full Client.
+const GetReqSize = getReqSize
+
 // reqKey identifies one client operation attempt; it keys the primary's
 // and secondaries' in-flight put state.
 type reqKey struct {

@@ -28,6 +28,7 @@ type Host struct {
 	stats   HostStats
 	down    bool
 	nextID  *uint64
+	accepts []Prefix // extra DstIP ranges this host terminates
 }
 
 // NewHost creates a host attached to the network with the given address.
@@ -90,16 +91,34 @@ func (h *Host) LeaveMulticast(group IP) { delete(h.mcast, group) }
 // InMulticast reports whether the host is subscribed to group.
 func (h *Host) InMulticast(group IP) bool { return h.mcast[group] }
 
+// AcceptPrefix makes the host terminate an extra destination range: the
+// NIC delivers unicast packets whose DstIP falls inside p as if they were
+// addressed to the host itself. A traffic gateway uses it to sink replies
+// addressed to the virtual client space it fronts.
+func (h *Host) AcceptPrefix(p Prefix) { h.accepts = append(h.accepts, p) }
+
 // Send fills in the host's source addresses, resolves the destination MAC
 // from the ARP cache (broadcast if unknown — the OpenFlow fabric routes on
 // IP and rewrites MACs, so this is how first packets reach the controller),
 // and transmits.
 func (h *Host) Send(pkt *Packet) {
+	pkt.SrcIP = h.ip
+	h.SendFrom(pkt)
+}
+
+// SendFrom is Send for a packet whose source IP the caller has already
+// set: the NIC keeps pkt.SrcIP instead of stamping its own address. An
+// open-loop traffic gateway uses it to emit requests on behalf of many
+// virtual clients, so switch rules that classify on source address (the
+// load-balancing divisions) see one flow per virtual client rather than
+// one per gateway. Everything else — source MAC, ARP resolution, TTL, ID,
+// counters — is stamped exactly as Send does, and replies addressed to
+// the virtual source route back by MAC, not IP.
+func (h *Host) SendFrom(pkt *Packet) {
 	if h.down {
 		h.net.RecyclePacket(pkt) // senders hand off ownership unconditionally
 		return
 	}
-	pkt.SrcIP = h.ip
 	pkt.SrcMAC = h.mac
 	if pkt.DstMAC == 0 {
 		if m, ok := h.arp[pkt.DstIP]; ok {
@@ -139,7 +158,7 @@ func (h *Host) Recv(pkt *Packet, on *Port) {
 		h.net.RecyclePacket(pkt)
 		return
 	}
-	if pkt.DstIP != h.ip && !h.mcast[pkt.DstIP] {
+	if pkt.DstIP != h.ip && !h.mcast[pkt.DstIP] && !h.acceptsDst(pkt.DstIP) {
 		h.net.drops++
 		h.net.RecyclePacket(pkt)
 		return
@@ -150,6 +169,15 @@ func (h *Host) Recv(pkt *Packet, on *Port) {
 	if h.handler != nil {
 		h.handler(pkt)
 	}
+}
+
+func (h *Host) acceptsDst(ip IP) bool {
+	for _, p := range h.accepts {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
 }
 
 func (h *Host) recvARP(pkt *Packet) {

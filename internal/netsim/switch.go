@@ -114,11 +114,13 @@ func processEvent(a1, a2 any) {
 	sw.pipe.Process(sw, a2.(*Packet), on.Index)
 }
 
-// Output transmits pkt on port i. Multicast pipelines call this once per
-// port with cloned packets.
+// Output transmits pkt on port i, taking ownership: a packet aimed at a
+// disconnected port goes back to the pool. Multicast pipelines call this
+// once per port with cloned packets.
 func (sw *Switch) Output(i int, pkt *Packet) {
 	if i < 0 || i >= len(sw.ports) || !sw.ports[i].Connected() {
 		sw.stats.Dropped++
+		sw.net.RecyclePacket(pkt)
 		return
 	}
 	sw.stats.PktsOut++
@@ -127,7 +129,7 @@ func (sw *Switch) Output(i int, pkt *Packet) {
 }
 
 // Flood transmits clones of pkt on every connected port except the one it
-// arrived on.
+// arrived on. pkt itself is borrowed: the caller still owns it.
 func (sw *Switch) Flood(pkt *Packet, inPort int) {
 	for i, p := range sw.ports {
 		if i == inPort || !p.Connected() {
@@ -137,5 +139,10 @@ func (sw *Switch) Flood(pkt *Packet, inPort int) {
 	}
 }
 
-// Drop records a pipeline decision to discard the packet.
-func (sw *Switch) Drop(pkt *Packet) { sw.stats.Dropped++ }
+// Drop records a pipeline decision to discard the packet and returns it
+// to the pool. The caller must own pkt exclusively; pass nil to count a
+// drop of a packet someone else (e.g. the controller) now holds.
+func (sw *Switch) Drop(pkt *Packet) {
+	sw.stats.Dropped++
+	sw.net.RecyclePacket(pkt)
+}

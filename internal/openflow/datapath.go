@@ -140,70 +140,88 @@ func (dp *Datapath) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
 	dp.apply(entry.Actions, pkt, inPort)
 }
 
-// apply executes an action list on (a mutable view of) pkt. Set-field
-// actions clone once and then mutate that clone in place; the clone loses
-// mutability again when the punt path retains it (the controller buffers
-// punted packets, so a later set-field must not write through them).
+// apply executes an action list on pkt, which it owns: every path hands
+// the packet (or a clone) onward or returns it to the pool. The delivered
+// packet is exclusively ours (links and clones hand out unique pointers),
+// so set-field actions mutate it in place, and an Output in final
+// position transmits it directly — the common rewrite rule moves a packet
+// through the pipeline with zero copies. Only a punt surrenders
+// ownership (the controller buffers punted packets), after which a later
+// set-field or the disposal below must not touch pkt.
 func (dp *Datapath) apply(actions []Action, pkt *netsim.Packet, inPort int) {
 	net := dp.sw.Network()
 	cur := pkt
-	mutable := false // cur aliases the caller's packet until first write
+	owned := true
 	emitted := false
-	for _, a := range actions {
+	for i, a := range actions {
 		switch a := a.(type) {
 		case SetDstIP:
-			if !mutable {
+			if !owned {
 				cur = net.ClonePacket(cur)
-				mutable = true
+				owned = true
 			}
 			cur.DstIP = a.IP
 		case SetSrcIP:
-			if !mutable {
+			if !owned {
 				cur = net.ClonePacket(cur)
-				mutable = true
+				owned = true
 			}
 			cur.SrcIP = a.IP
 		case SetDstMAC:
-			if !mutable {
+			if !owned {
 				cur = net.ClonePacket(cur)
-				mutable = true
+				owned = true
 			}
 			cur.DstMAC = a.MAC
 		case SetSrcMAC:
-			if !mutable {
+			if !owned {
 				cur = net.ClonePacket(cur)
-				mutable = true
+				owned = true
 			}
 			cur.SrcMAC = a.MAC
 		case Output:
-			dp.sw.Output(a.Port, net.ClonePacket(cur))
+			if owned && i == len(actions)-1 {
+				dp.sw.Output(a.Port, cur)
+				owned = false
+			} else {
+				dp.sw.Output(a.Port, net.ClonePacket(cur))
+			}
 			emitted = true
 		case OutputGroup:
-			dp.applyGroup(a.Group, cur, inPort)
+			dp.applyGroup(a.Group, cur, inPort) // borrows cur
 			emitted = true
 		case Flood:
-			dp.sw.Flood(cur, inPort)
+			dp.sw.Flood(cur, inPort) // clones per port, borrows cur
 			emitted = true
 		case ToController:
 			dp.punt(cur, inPort)
-			mutable = false // the controller now holds a reference
+			owned = false // the controller now holds cur
 			emitted = true
 		case Drop:
+			if !owned {
+				cur = nil
+			}
 			dp.sw.Drop(cur)
 			return
 		}
 	}
-	if !emitted {
+	switch {
+	case !emitted:
+		if !owned {
+			cur = nil
+		}
 		dp.sw.Drop(cur)
+	case owned:
+		net.RecyclePacket(cur)
 	}
 }
 
 // applyGroup fans the packet out through an ALL-type group: every bucket
-// gets its own copy. A missing group drops the packet.
+// gets its own copy. pkt is borrowed — the caller disposes of it.
 func (dp *Datapath) applyGroup(id GroupID, pkt *netsim.Packet, inPort int) {
 	g, ok := dp.groups.Get(id)
 	if !ok {
-		dp.sw.Drop(pkt)
+		dp.sw.Drop(nil) // count it; the caller still owns pkt
 		return
 	}
 	for _, b := range g.Buckets {
@@ -284,7 +302,8 @@ func (dp *Datapath) PacketOut(pkt *netsim.Packet, outPort int) {
 	dp.stats.PacketOuts++
 	dp.ctrlSched(func() {
 		if outPort == FloodPort {
-			dp.sw.Flood(pkt, -1)
+			dp.sw.Flood(pkt, -1) // per-port clones; the original goes back
+			dp.sw.Network().RecyclePacket(pkt)
 			return
 		}
 		dp.sw.Output(outPort, pkt)

@@ -1,0 +1,93 @@
+package openflow
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestIdleHeapChurnBounded pins the §10.2 compaction promise: under
+// sustained controller churn — batches of idle-timeout rules installed
+// and cookie-removed every round, with lookups (the expiry pop path)
+// in between — the deadline heap stays proportional to the resident
+// idle-rule count instead of accumulating one tombstone per removal.
+func TestIdleHeapChurnBounded(t *testing.T) {
+	const (
+		rounds = 100
+		batch  = 100
+	)
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	maxNodes := 0
+	for r := 0; r < rounds; r++ {
+		r := r
+		s.At(us(r*1000), func() {
+			for i := 0; i < batch; i++ {
+				_, err := tbl.Add(FlowEntry{
+					Priority:    1,
+					Match:       MatchDst(pfx(fmt.Sprintf("10.%d.%d.0/24", r%200, i))),
+					Cookie:      fmt.Sprintf("r%d.", r),
+					IdleTimeout: us(10_000),
+				})
+				if err != nil {
+					t.Errorf("round %d: %v", r, err)
+				}
+			}
+			if r > 0 {
+				if n := tbl.RemoveCookie(fmt.Sprintf("r%d.", r-1)); n != batch {
+					t.Errorf("round %d: removed %d, want %d", r, n, batch)
+				}
+			}
+			tbl.Lookup(udp("1.1.1.1", "2.2.2.2"), 0)
+			if n := len(tbl.idle.nodes); n > maxNodes {
+				maxNodes = n
+			}
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10k rules churned through; without compaction the heap would hold
+	// ~10k tombstones. The bound: live entries plus at most live+64 dead.
+	if limit := 2*batch + 64; maxNodes > limit {
+		t.Fatalf("idle heap reached %d nodes churning %d rules (bound %d)",
+			maxNodes, rounds*batch, limit)
+	}
+	if maxNodes < batch {
+		t.Fatalf("heap max %d never held a full batch — test is not exercising churn", maxNodes)
+	}
+}
+
+// TestIdleHeapCompactsOnPopPath: after a mass removal, the next lookup
+// alone (no further Remove calls) must shed the tombstones.
+func TestIdleHeapCompactsOnPopPath(t *testing.T) {
+	s := sim.New(1)
+	tbl := NewFlowTable(s)
+	s.At(0, func() {
+		for i := 0; i < 256; i++ {
+			tbl.Add(FlowEntry{
+				Priority:    1,
+				Match:       MatchDst(pfx(fmt.Sprintf("10.0.%d.0/24", i))),
+				Cookie:      "bulk.",
+				IdleTimeout: us(1000),
+			})
+		}
+		// Mark entries dead behind compact's back, as a caller holding the
+		// table invariants (evict's shadow path) would: the pop path must
+		// still bound the garbage.
+		for _, e := range tbl.entries {
+			tbl.unindex(e)
+		}
+		tbl.entries = tbl.entries[:0]
+	})
+	s.At(us(10), func() {
+		tbl.Lookup(udp("1.1.1.1", "2.2.2.2"), 0)
+		if n := len(tbl.idle.nodes); n > 64 {
+			t.Fatalf("lookup left %d tombstoned heap nodes, want compacted (<=64)", n)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

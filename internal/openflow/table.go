@@ -176,6 +176,11 @@ func (t *FlowTable) expireIdle(now sim.Time) {
 			t.idle.push(deadline, n.e)
 		}
 	}
+	// Periodic tombstone compaction (§10.2): Remove compacts at its own
+	// call sites, but this is the path every lookup takes, so checking the
+	// (two-comparison) threshold here bounds the heap no matter who
+	// removed the entries or when.
+	t.idle.compact()
 }
 
 // evict drops an idle-expired entry from the master list and the index.

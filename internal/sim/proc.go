@@ -265,6 +265,16 @@ func (w *waiter) wake() bool {
 // back-to-back — same order as the per-waiter events produced, since
 // those occupied consecutive sequence numbers that nothing could
 // interleave with.
+//
+// When no pending event can fire at the current instant (wheel.minAt is
+// past now), even that one event is skipped: the chain event would carry
+// the largest sequence number at now, so it would be dispatched next in
+// any case, and the chain goes straight onto the ready queue. The order
+// is identical either way — procs only ever become ready through events,
+// so anything that could interleave is itself an event with a larger
+// sequence number, firing after the elided chain event would have. If an
+// event at or before now is pending (minAt ≤ now), it may be an earlier
+// batch wake that must ready its procs first, so the event path is kept.
 func (s *Simulator) wakeAll(l *wlist) {
 	var head, tail *Proc
 	for w := l.pop(); w != nil; w = l.pop() {
@@ -279,10 +289,15 @@ func (s *Simulator) wakeAll(l *wlist) {
 		}
 		s.freeWaiter(w)
 	}
-	if head != nil {
-		tail.nextSched = nil
-		s.At2(s.now, wakeChain, head, nil)
+	if head == nil {
+		return
 	}
+	tail.nextSched = nil
+	if s.wheel.minAt > s.now {
+		wakeChain(head, nil)
+		return
+	}
+	s.At2(s.now, wakeChain, head, nil)
 }
 
 // wakeChain is the static batch-wake callback: it readies every proc in

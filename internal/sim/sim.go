@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -39,10 +38,14 @@ type event struct {
 	arg1, arg2 any
 	gen        uint32 // incremented each time the struct is recycled
 	dead       bool   // cancelled
-	idx        int    // heap index, -1 when popped
+	idx        int    // eventHeap index, -1 when popped (oracle only)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// eventHeap is a min-heap ordered by (at, seq). It was the production
+// event queue before the timer wheel (wheel.go) and is kept as the
+// executable oracle for the randomized wheel-vs-heap differential test:
+// its (at, seq) total order defines the dispatch order the wheel must
+// reproduce bit-for-bit.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -84,7 +87,7 @@ const maxFreeProcs = 1024
 // processes. The zero value is not usable; create one with New.
 type Simulator struct {
 	now         Time
-	heap        eventHeap
+	wheel       timerWheel
 	seq         uint64
 	rng         *rand.Rand
 	yield       chan struct{} // the run token returns to the Run/Shutdown caller
@@ -109,10 +112,12 @@ const maxTime = Time(1<<63 - 1)
 
 // New returns a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{
+	s := &Simulator{
 		rng:   rand.New(rand.NewSource(seed)),
 		yield: make(chan struct{}),
 	}
+	s.wheel.init()
+	return s
 }
 
 // Now returns the current virtual time.
@@ -173,7 +178,7 @@ func (s *Simulator) At(t Time, fn func()) Event {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	e := s.newEvent(t, fn)
-	heap.Push(&s.heap, e)
+	s.wheel.push(e)
 	return Event{e: e, gen: e.gen}
 }
 
@@ -193,7 +198,7 @@ func (s *Simulator) At2(t Time, fn func(a1, a2 any), a1, a2 any) Event {
 	e := s.newEvent(t, nil)
 	e.fn2 = fn
 	e.arg1, e.arg2 = a1, a2
-	heap.Push(&s.heap, e)
+	s.wheel.push(e)
 	return Event{e: e, gen: e.gen}
 }
 
@@ -262,16 +267,17 @@ func (s *Simulator) dispatch() *Proc {
 		if p := s.readyPop(); p != nil {
 			return p
 		}
-		if s.fail != nil || s.stopped || len(s.heap) == 0 {
+		if s.fail != nil || s.stopped || s.wheel.n == 0 {
 			return nil
 		}
-		if s.heap[0].at > s.bound {
+		e := s.wheel.popBound(s.bound)
+		if e == nil {
+			// The earliest event lies beyond the bound; it stays queued.
 			if !s.untilActive {
 				s.now = s.limit // Run hit SetLimit: clock lands on the limit
 			}
 			return nil
 		}
-		e := heap.Pop(&s.heap).(*event)
 		if e.dead {
 			s.freeEvent(e)
 			continue
@@ -337,7 +343,8 @@ func (s *Simulator) SetLimit(t Time) { s.limit = t }
 func (s *Simulator) Stop() { s.stopped = true }
 
 // Pending reports the number of scheduled (possibly cancelled) events.
-func (s *Simulator) Pending() int { return len(s.heap) }
+// The wheel maintains the count, so this stays O(1).
+func (s *Simulator) Pending() int { return s.wheel.n }
 
 // LiveProcs reports the number of processes that have been spawned and have
 // not yet finished.

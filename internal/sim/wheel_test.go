@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWheelHeapDifferential drives the timer wheel and the retained
+// eventHeap oracle through a randomized schedule/cancel/drain workload
+// (following the dispatch loop's discipline: the clock only advances to
+// popped events or drain bounds, inserts are never in the past) and
+// asserts that the wheel pops the exact same event structs in the exact
+// same order the heap's (at, seq) total order defines. Delay magnitudes
+// span every wheel level, so cascades, the bound cutoff, and the lazy
+// per-bucket seq sort are all exercised.
+func TestWheelHeapDifferential(t *testing.T) {
+	const iters = 60000
+	rng := rand.New(rand.NewSource(7))
+	w := &timerWheel{}
+	w.init()
+	var h eventHeap
+	var seq uint64
+	var now Time
+	var live []*event
+	scheduled, popped, cancelled := 0, 0, 0
+
+	// Delay scales: same-instant wakes through multi-hour timers, one per
+	// wheel level and then some.
+	scales := []Time{0, 1, 63, 1 << 6, 1 << 12, 1 << 18, 1 << 24, 1 << 30,
+		1 << 36, 1 << 42, 1 << 50, Time(3 * time.Hour)}
+
+	delta := func() Time {
+		s := scales[rng.Intn(len(scales))]
+		if s == 0 {
+			return 0
+		}
+		return s + Time(rng.Int63n(int64(s)+1))
+	}
+	push := func() {
+		seq++
+		e := &event{at: now + delta(), seq: seq}
+		w.push(e)
+		heap.Push(&h, e)
+		live = append(live, e)
+		scheduled++
+	}
+	// popOne pops both structures and cross-checks; reports ok=false when
+	// the wheel says nothing is due by bound.
+	popOne := func(bound Time) bool {
+		we := w.popBound(bound)
+		if we == nil {
+			if h.Len() > 0 && h[0].at <= bound {
+				t.Fatalf("wheel dry at bound %d, heap still holds (at=%d seq=%d)",
+					bound, h[0].at, h[0].seq)
+			}
+			return false
+		}
+		he := heap.Pop(&h).(*event)
+		if we != he {
+			t.Fatalf("pop mismatch: wheel (at=%d seq=%d dead=%v) vs heap (at=%d seq=%d dead=%v)",
+				we.at, we.seq, we.dead, he.at, he.seq, he.dead)
+		}
+		if we.at > bound {
+			t.Fatalf("wheel popped at=%d beyond bound %d", we.at, bound)
+		}
+		now = we.at
+		popped++
+		return true
+	}
+
+	for i := 0; i < iters; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.55: // schedule a burst
+			for k := rng.Intn(4) + 1; k > 0; k-- {
+				push()
+			}
+		case r < 0.65: // cancel something (dead events still pop in order)
+			if len(live) > 0 {
+				live[rng.Intn(len(live))].dead = true
+				cancelled++
+			}
+		case r < 0.85: // unbounded drain of a few events
+			for k := rng.Intn(6) + 1; k > 0 && popOne(maxTime); k-- {
+			}
+		default: // bounded drain, mimicking RunUntil: clock lands on the bound
+			bound := now + delta()
+			for popOne(bound) {
+			}
+			now = bound
+		}
+		if w.n != h.Len() {
+			t.Fatalf("iter %d: wheel count %d != heap len %d", i, w.n, h.Len())
+		}
+	}
+	for popOne(maxTime) {
+	}
+	if w.n != 0 || h.Len() != 0 {
+		t.Fatalf("final drain left wheel=%d heap=%d", w.n, h.Len())
+	}
+	if popped != scheduled {
+		t.Fatalf("popped %d of %d scheduled", popped, scheduled)
+	}
+	t.Logf("differential: %d scheduled, %d popped, %d cancelled over %d iterations",
+		scheduled, popped, cancelled, iters)
+	if total := scheduled + popped + cancelled; total < 100000 {
+		t.Fatalf("workload too small for the differential claim: %d ops", total)
+	}
+}
+
+// TestWheelSameInstantSeqOrder forces the cascade-after-direct-insert
+// inversion: an old small-seq event parked in a coarse bucket must still
+// pop before a newer event at the same timestamp that was filed directly
+// into the level-0 bucket.
+func TestWheelSameInstantSeqOrder(t *testing.T) {
+	w := &timerWheel{}
+	w.init()
+	const T = Time(1<<18 + 37)
+	early := &event{at: T, seq: 1} // filed coarse: cur is 0
+	w.push(early)
+	mid := &event{at: T - 100, seq: 2}
+	w.push(mid)
+	// Drain up to T-1: cascades both events toward level 0 and pops mid,
+	// leaving `early` resident in the level-0 bucket for T.
+	if e := w.popBound(T - 1); e != mid {
+		t.Fatalf("expected mid event first, got %+v", e)
+	}
+	if e := w.popBound(T - 1); e != nil {
+		t.Fatalf("expected nothing else before T, got %+v", e)
+	}
+	late := &event{at: T, seq: 3}
+	w.push(late)
+	if e := w.popBound(T); e != early {
+		t.Fatalf("expected seq 1 before seq 3 at the shared instant, got seq %d", e.seq)
+	}
+	if e := w.popBound(T); e != late {
+		t.Fatalf("expected seq 3 second, got %+v", e)
+	}
+	if w.n != 0 {
+		t.Fatalf("wheel not empty: %d", w.n)
+	}
+}
+
+// TestWheelFarFutureBound checks that a bound-limited scan against a far
+// event neither pops it nor advances the cursor past the bound, so later
+// inserts between now and the event stay schedulable.
+func TestWheelFarFutureBound(t *testing.T) {
+	w := &timerWheel{}
+	w.init()
+	far := &event{at: Time(time.Hour), seq: 1}
+	w.push(far)
+	if e := w.popBound(Time(time.Millisecond)); e != nil {
+		t.Fatalf("bound-limited pop returned %+v", e)
+	}
+	if w.cur > Time(time.Millisecond) {
+		t.Fatalf("cursor %d advanced past the bound", w.cur)
+	}
+	near := &event{at: Time(2 * time.Millisecond), seq: 2}
+	w.push(near) // must not panic: cursor stayed at or below the bound
+	if e := w.popBound(maxTime); e != near {
+		t.Fatalf("expected near event first, got seq %d", e.seq)
+	}
+	if e := w.popBound(maxTime); e != far {
+		t.Fatalf("expected far event second, got %+v", e)
+	}
+}
+
+// TestWheelMinAtBound checks the minAt lower bound wakeAll relies on: it
+// must never exceed the true minimum, and must go back to maxTime when
+// the wheel drains.
+func TestWheelMinAtBound(t *testing.T) {
+	w := &timerWheel{}
+	w.init()
+	if w.minAt != maxTime {
+		t.Fatalf("empty wheel minAt = %d", w.minAt)
+	}
+	evs := []*event{
+		{at: 5, seq: 1}, {at: 5, seq: 2}, {at: 700, seq: 3}, {at: Time(time.Second), seq: 4},
+	}
+	for _, e := range evs {
+		w.push(e)
+	}
+	for _, want := range evs {
+		if w.minAt > want.at {
+			t.Fatalf("minAt %d exceeds pending minimum %d", w.minAt, want.at)
+		}
+		if e := w.popBound(maxTime); e != want {
+			t.Fatalf("expected seq %d, got seq %d", want.seq, e.seq)
+		}
+	}
+	if w.minAt != maxTime {
+		t.Fatalf("drained wheel minAt = %d", w.minAt)
+	}
+}

@@ -180,6 +180,26 @@ func (u *UDPSocket) SendTo(to netsim.IP, toPort uint16, data any, size int) {
 	u.stack.host.Send(pkt)
 }
 
+// SendToFrom is SendTo with a caller-chosen source address: the datagram
+// leaves the NIC carrying src as its source IP (netsim.Host.SendFrom).
+// The open-loop traffic gateway sends each virtual client's requests this
+// way; replies must be addressed to the gateway's real IP (carried inside
+// the request), since nothing routes back to a synthesized source.
+func (u *UDPSocket) SendToFrom(src, to netsim.IP, toPort uint16, data any, size int) {
+	if size > MTU {
+		panic(fmt.Sprintf("transport: %d-byte datagram exceeds MTU", size))
+	}
+	pkt := u.stack.host.Network().NewPacket()
+	pkt.SrcIP = src
+	pkt.DstIP = to
+	pkt.Proto = netsim.ProtoUDP
+	pkt.SrcPort = u.port
+	pkt.DstPort = toPort
+	pkt.Size = size + netsim.UDPHeaderSize
+	pkt.Payload = data
+	u.stack.host.SendFrom(pkt)
+}
+
 // Recv blocks until a datagram arrives.
 func (u *UDPSocket) Recv(p *sim.Proc) (*Datagram, bool) { return u.rq.Pop(p) }
 
