@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -91,6 +92,8 @@ func main() {
 		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip running them)")
 		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
 		trafOut  = flag.String("traffic-out", "BENCH_traffic.json", "write heavytraffic sweep results here (empty: skip)")
+		storOut  = flag.String("storage-out", "BENCH_storage.json", "write storagesweep results here (empty: skip)")
+		storHeav = flag.Int("storage-heavy-clients", 100_000, "virtual-client fleet size for the storagesweep heavytraffic arm")
 		trafSize = flag.String("traffic-sizes", "", "comma-separated virtual-client fleet sizes for -experiment heavytraffic (default 10000,100000,1000000)")
 		kernBase = flag.String("kernel-baseline", "", "compare kernel benchmarks against this JSON baseline; exit non-zero on >2x SleepWake/EventChurn regression")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here (view with: go tool pprof -top <file>)")
@@ -140,7 +143,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -365,6 +368,41 @@ func main() {
 		}
 		ran++
 	}
+	if want("storagesweep") {
+		t0 := time.Now()
+		rep, err := cluster.StorageSweep(pr, *storHeav)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("storagesweep: durable engine under memory pressure (%d records x %dB, R=3, %d nodes)\n",
+			rep.Records, rep.ValueSize, rep.Nodes)
+		fmt.Printf("%-14s %6s %10s %9s %8s %8s %7s %8s %7s %6s %8s\n",
+			"system", "ws/bud", "budget", "ops/s", "getp99us", "putp99us", "memhit", "evict", "fsync", "snaps", "cachehit")
+		for _, c := range rep.Cells {
+			fmt.Printf("%-14s %6.1f %10s %9.0f %8.1f %8.1f %6.1f%% %8d %7d %6d %7.2f%%\n",
+				c.System, c.Ratio, metrics.FormatBytes(c.BudgetBytes), c.Tput,
+				c.GetP99Micros, c.PutP99Micros, 100*c.MemHitRatio,
+				c.Evictions, c.Fsyncs, c.Snapshots, 100*c.CacheHit)
+		}
+		for _, h := range rep.Heavy {
+			fmt.Printf("%-14s clients=%d offered/s=%.0f achieved/s=%.0f p99us=%.1f timeout=%.2f%% memhit=%.1f%% evictions=%d\n",
+				h.System, h.Clients, h.Offered, h.Achieved, h.P99Micros,
+				100*h.TimeoutFrac, 100*h.MemHitFrac, h.Evictions)
+		}
+		fmt.Printf("-- storagesweep: %.2fs wall\n\n", time.Since(t0).Seconds())
+		if *storOut != "" {
+			report := struct {
+				Env  benchEnv `json:"env"`
+				Seed int64    `json:"seed"`
+				*cluster.StorageReport
+			}{env(), *seed, rep}
+			if err := writeJSON(*storOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *storOut)
+		}
+		ran++
+	}
 	if want("fabric") {
 		fig, err := cluster.FabricComparison(pr)
 		if err != nil {
@@ -411,7 +449,7 @@ func main() {
 
 	if ran == 0 {
 		stopProfiles()
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}

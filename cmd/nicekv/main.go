@@ -33,6 +33,8 @@ func main() {
 		putRatio = flag.Float64("putratio", 0.2, "fraction of operations that are puts")
 		lb       = flag.Bool("lb", false, "enable in-network get load balancing")
 		cache    = flag.Bool("cache", false, "enable the in-switch hot-key cache")
+		durable  = flag.Bool("durable", false, "enable the durable storage engine (WAL + snapshots + eviction)")
+		budget   = flag.Int64("mem-budget", 0, "per-node memory budget in bytes for -durable (0 = unbounded)")
 		failNode = flag.Int("fail", -1, "crash this node mid-run (and restart it later)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.Int("trace", 0, "print the first N packet events (0 = off)")
@@ -45,6 +47,8 @@ func main() {
 	opts.Clients = *clients
 	opts.LoadBalance = *lb
 	opts.Cache = *cache
+	opts.DurableStore = *durable
+	opts.StoreMemoryBudget = *budget
 	opts.Seed = *seed
 	d := cluster.NewNICE(opts)
 	if err := d.Settle(); err != nil {
@@ -124,6 +128,9 @@ func main() {
 	pr("get", &getLat, getFail)
 	if d.Cache != nil {
 		fmt.Printf("cache: %s\n", d.Cache.Stats())
+	}
+	if *durable {
+		fmt.Printf("storage: %s\n", d.StorageCounters())
 	}
 	fmt.Printf("network: %s over all links, %d flow entries, %d groups\n",
 		metrics.FormatBytes(d.Net.TotalLinkBytes()), d.Core.Table().Len(), d.Core.Groups().Len())

@@ -17,6 +17,11 @@
 //	                  every put acked before it began
 //	version-collision a version number is assigned to at most one acked
 //	                  put per key
+//	durability        every acked put survives to the end of the run:
+//	                  the cluster's final committed version of the key is
+//	                  at least the newest acked version (CheckDurability,
+//	                  fed the post-run store contents — the invariant
+//	                  crash recovery must uphold)
 //
 // The floor for an operation deliberately counts only puts whose ack
 // returned before the operation was invoked: overlapping operations are
@@ -195,6 +200,40 @@ func (h *History) Check() []Violation {
 					seenVer[e.Ver] = e
 				}
 			}
+		}
+	}
+	return out
+}
+
+// CheckDurability verifies the durability invariant against the
+// cluster's post-run state: final maps each key to the newest committed
+// version found anywhere in the cluster (main namespaces and handoff
+// directories) after the run drained. Every put whose ack the history
+// recorded must be covered — final[key] at or above the acked version —
+// or a crash recovery lost an acknowledged write. Keys are checked in
+// sorted order so violations list deterministically.
+func (h *History) CheckDurability(final map[string]uint64) []Violation {
+	maxAcked := map[string]uint64{}
+	for i := range h.Events {
+		e := &h.Events[i]
+		if e.Kind == OpPut && e.OK && e.Ver > maxAcked[e.Key] {
+			maxAcked[e.Key] = e.Ver
+		}
+	}
+	keys := make([]string, 0, len(maxAcked))
+	for k := range maxAcked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Violation
+	for _, key := range keys {
+		if got := final[key]; got < maxAcked[key] {
+			out = append(out, Violation{
+				Invariant: "durability",
+				Key:       key,
+				Detail: fmt.Sprintf("version %d was acked but the cluster's final version is %d",
+					maxAcked[key], got),
+			})
 		}
 	}
 	return out

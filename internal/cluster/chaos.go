@@ -50,6 +50,9 @@ type chaosSystem struct {
 	// traffic (implies leafspine) runs the open-loop engine offering
 	// background load while the chaos clients record the checked history.
 	traffic bool
+	// weights reshapes the generator's fault mix (index by
+	// faultinject.Kind); nil keeps the default bias.
+	weights []int
 }
 
 // chaosSystems returns the tested configurations. The quorum system runs
@@ -80,7 +83,39 @@ func chaosSystems() []chaosSystem {
 			o.LoadBalance = true
 			o.TrafficGateways = true
 		}, traffic: true},
+		// The durable cell puts the storage engine under the harshest mix
+		// it faces: a crash really wipes memory and the unfsynced WAL tail
+		// (no state resurrection — recovery is snapshot + log replay), the
+		// memory budget covers only half the working set so eviction and
+		// promotion churn constantly, and the fault mix is reshaped toward
+		// crash and slowdisk. The post-run durability audit (CheckDurability
+		// against the union of the nodes' final stores) holds in addition
+		// to the standard invariants. Appended last: cell seeds derive from
+		// sweep position, so inserting mid-list would reseed the
+		// longstanding systems' schedules.
+		{name: "NICEKV+durable", tune: func(o *Options) {
+			o.LoadBalance = true
+			o.DurableStore = true
+			o.StoreMemoryBudget = int64(len(chaosKeys) * chaosValSize / 2)
+			o.StoreShards = 2
+			o.StoreSnapshotEvery = 100 * time.Millisecond
+		}, weights: durableWeights()},
 	}
+}
+
+// durableWeights biases the durable cell's schedules toward the faults
+// the storage engine exists to survive.
+func durableWeights() []int {
+	w := faultinject.DefaultWeights()
+	w[faultinject.NodeCrash] = 60
+	w[faultinject.SlowDisk] = 20
+	w[faultinject.Partition] = 0
+	w[faultinject.LinkDown] = 5
+	w[faultinject.LinkLoss] = 10
+	w[faultinject.DelaySpike] = 5
+	w[faultinject.SlowNIC] = 5
+	w[faultinject.CtrlFault] = 5
+	return w
 }
 
 // chaosOptions is the cell deployment: small cluster, fast failure
@@ -106,6 +141,7 @@ func chaosGenConfig(sys chaosSystem) faultinject.GenConfig {
 	if sys.maxOutages > 0 {
 		cfg.MaxOutages = sys.maxOutages
 	}
+	cfg.Weights = sys.weights
 	return cfg
 }
 
@@ -178,6 +214,12 @@ type ChaosCell struct {
 	// chaos clients (zero for systems without background traffic); it is
 	// part of the determinism recheck.
 	TrafficOps int64
+	// Recoveries / Replayed sum the durable engines' crash recoveries and
+	// WAL records replayed (zero for legacy-store systems); they witness
+	// that recovery really was snapshot + log replay and are part of the
+	// determinism recheck.
+	Recoveries int64
+	Replayed   int64
 }
 
 // Repro is the one-line reproduction command for this cell.
@@ -276,6 +318,34 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 	if eng != nil {
 		cell.TrafficOps = eng.issued
 	}
+	if opts.DurableStore {
+		// Durability audit: the newest committed version of every chaos
+		// key anywhere in the cluster (main namespaces and handoff
+		// directories) must cover every acked put — what snapshot + log
+		// replay recovery promises.
+		final := map[string]uint64{}
+		observe := func(key string, ver uint64) {
+			if ver > final[key] {
+				final[key] = ver
+			}
+		}
+		for _, n := range d.Nodes {
+			st := n.Store()
+			for _, key := range chaosKeys {
+				if obj, ok := st.Peek(key); ok {
+					observe(key, obj.Version.PrimarySeq)
+				}
+			}
+			for _, obj := range st.HandoffObjects() {
+				observe(obj.Key, obj.Version.PrimarySeq)
+			}
+			if es, ok := st.StorageStats(); ok {
+				cell.Recoveries += es.Recoveries
+				cell.Replayed += es.ReplayedRecords
+			}
+		}
+		cell.Violations = append(cell.Violations, hist.CheckDurability(final)...)
+	}
 	return cell, nil
 }
 
@@ -327,7 +397,7 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 	fmt.Fprintf(w, "== chaos: %d fault schedules per system ==\n", r.Schedules)
 	for si, name := range r.Systems {
 		ops, failed, faults, bad := 0, 0, 0, 0
-		traffic := int64(0)
+		traffic, recov, replayed := int64(0), int64(0), int64(0)
 		for i := si * r.Schedules; i < (si+1)*r.Schedules; i++ {
 			c := &r.Cells[i]
 			ops += c.Ops
@@ -335,11 +405,16 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 			faults += len(c.Schedule.Events)
 			bad += len(c.Violations)
 			traffic += c.TrafficOps
+			recov += c.Recoveries
+			replayed += c.Replayed
 		}
 		fmt.Fprintf(w, "%-20s ops=%-6d failed=%-5d faults=%-4d violations=%d",
 			name, ops, failed, faults, bad)
 		if traffic > 0 {
 			fmt.Fprintf(w, " traffic=%d", traffic)
+		}
+		if recov > 0 {
+			fmt.Fprintf(w, " recoveries=%d replayed=%d", recov, replayed)
 		}
 		fmt.Fprintln(w)
 	}
@@ -386,11 +461,13 @@ func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if again.Hash != first.Hash || again.TrafficOps != first.TrafficOps {
+		if again.Hash != first.Hash || again.TrafficOps != first.TrafficOps ||
+			again.Recoveries != first.Recoveries || again.Replayed != first.Replayed {
 			rep.DeterminismOK = false
 			rep.Mismatches = append(rep.Mismatches,
-				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d (%s)",
-					sys.name, first.Hash, again.Hash, first.TrafficOps, again.TrafficOps, first.Repro()))
+				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d, recoveries %d vs %d, replayed %d vs %d (%s)",
+					sys.name, first.Hash, again.Hash, first.TrafficOps, again.TrafficOps,
+					first.Recoveries, again.Recoveries, first.Replayed, again.Replayed, first.Repro()))
 		}
 	}
 	return rep, nil

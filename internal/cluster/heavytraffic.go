@@ -27,6 +27,11 @@ type TrafficCell struct {
 	TimeoutFrac float64 `json:"timeout_frac"`
 	CacheHit    float64 `json:"cache_hit_frac"`
 	Issued      int64   `json:"issued"`
+	// Storage-engine telemetry, populated only for durable-store arms
+	// (the storagesweep's heavytraffic cell); omitted otherwise so the
+	// legacy heavytraffic JSON is unchanged.
+	MemHitFrac float64 `json:"mem_hit_frac,omitempty"`
+	Evictions  int64   `json:"evictions,omitempty"`
 }
 
 // HeavyTrafficArms is the sweep's system axis.
@@ -63,12 +68,19 @@ func RunHeavyTrafficCell(system string, clients int, seed int64, rate float64, d
 	if err != nil {
 		return TrafficCell{}, err
 	}
+	return runTrafficCell(opts, system, clients, rate, duration)
+}
+
+// runTrafficCell builds a four-leaf spine deployment from opts and
+// drives the open-loop fleet against it — the shared machinery behind
+// the heavytraffic sweep and the storagesweep's heavytraffic arm.
+func runTrafficCell(opts Options, system string, clients int, rate float64, duration sim.Time) (TrafficCell, error) {
 	d := NewNICELeafSpine(opts, 4)
 	eng := NewTrafficEngine(d, TrafficOptions{
 		Clients:  clients,
 		Rate:     rate,
 		Duration: duration,
-		Seed:     seed,
+		Seed:     opts.Seed,
 	})
 	var res TrafficResult
 	var loadErr error
@@ -97,6 +109,11 @@ func RunHeavyTrafficCell(system string, clients int, seed int64, rate float64, d
 	}
 	if t := res.CacheHits + res.CacheMisses; t > 0 {
 		cell.CacheHit = float64(res.CacheHits) / float64(t)
+	}
+	if opts.DurableStore {
+		sc := d.StorageCounters()
+		cell.MemHitFrac = sc.HitRate()
+		cell.Evictions = sc.Evictions
 	}
 	return cell, nil
 }

@@ -151,6 +151,7 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 		ncfg.Disk = opts.Disk
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
+		ncfg.Storage = opts.storageConfig()
 		if d.Cache != nil {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut

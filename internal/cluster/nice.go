@@ -14,6 +14,7 @@ import (
 	"repro/internal/openflow"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/switchcache"
 	"repro/internal/transport"
 )
@@ -73,6 +74,41 @@ type Options struct {
 	// TrafficGateways attaches one open-loop traffic gateway host per
 	// leaf (NewNICELeafSpine only); see internal/cluster/traffic.go.
 	TrafficGateways bool
+	// DurableStore backs every node with the durable sharded engine
+	// (internal/storage): WAL + fsync-on-ack, periodic compacting
+	// snapshots, LRU eviction under StoreMemoryBudget. Off by default —
+	// the legacy flat-map store is byte-identical to prior releases.
+	DurableStore bool
+	// StoreMemoryBudget bounds each node's memory tier in bytes
+	// (0 = unbounded: nothing is evicted).
+	StoreMemoryBudget int64
+	// StoreShards overrides the engine's hash-partition count (0 = engine
+	// default).
+	StoreShards int
+	// StoreSnapshotEvery overrides the snapshot/log-truncate period
+	// (0 = engine default).
+	StoreSnapshotEvery sim.Time
+	// StoreNoFsync disables fsync-on-ack: commits become durable only
+	// through snapshots, trading the crash-loss window for ack latency.
+	StoreNoFsync bool
+}
+
+// storageConfig builds the durable-engine configuration from the
+// deployment knobs; nil selects the legacy flat-map store.
+func (o Options) storageConfig() *storage.Config {
+	if !o.DurableStore {
+		return nil
+	}
+	cfg := storage.DefaultConfig()
+	cfg.MemoryBudget = o.StoreMemoryBudget
+	if o.StoreShards > 0 {
+		cfg.Shards = o.StoreShards
+	}
+	if o.StoreSnapshotEvery > 0 {
+		cfg.SnapshotEvery = o.StoreSnapshotEvery
+	}
+	cfg.FsyncOnAck = !o.StoreNoFsync
+	return &cfg
 }
 
 // probeCPU, when non-zero, overrides CPUPerOp (test instrumentation).
@@ -293,6 +329,7 @@ func NewNICE(opts Options) *NICE {
 		ncfg.Disk = opts.Disk
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
+		ncfg.Storage = opts.storageConfig()
 		if d.Cache != nil && !probeDropInvalidate {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut

@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The storagesweep experiment characterizes the durable storage engine
+// under memory pressure: every arm runs with the engine on (WAL +
+// fsync-on-ack + snapshots), and the sweep scales the working-set-size ÷
+// memory-budget ratio from 0.5x (everything fits, eviction never fires)
+// to 8x (only an eighth of the set is resident, most gets pay a disk
+// read). The system axis — NICEKV, +LB, +cache — shows how much the
+// switch layers mask the storage tier: load balancing spreads the
+// disk-read misses over R replicas, and the in-switch cache absorbs the
+// hot head before it reaches a server at all. A heavytraffic arm drives
+// the same durable engine with a 10^5-virtual-client open-loop fleet.
+
+// StorageRatios is the working-set-size ÷ memory-budget axis.
+var StorageRatios = []float64{0.5, 1, 2, 4, 8}
+
+// storageSweepSystems is the system axis; all run the durable engine.
+var storageSweepSystems = []string{"NICEKV", "NICEKV+LB", "NICEKV+cache"}
+
+const (
+	storageSweepRecords = 256
+	storageSweepValue   = 1024
+	storageSweepNodes   = 6
+	storageSweepClients = 3
+	storageSweepPutFrac = 0.05
+)
+
+// StorageCell is one (system, ratio) measurement.
+type StorageCell struct {
+	System       string  `json:"system"`
+	Ratio        float64 `json:"ws_over_budget"`
+	BudgetBytes  int64   `json:"budget_bytes"` // per node
+	Tput         float64 `json:"ops_per_sec"`
+	GetP99Micros float64 `json:"get_p99_us"`
+	PutP99Micros float64 `json:"put_p99_us"`
+	MemHitRatio  float64 `json:"mem_hit_ratio"`
+	Evictions    int64   `json:"evictions"`
+	WALAppends   int64   `json:"wal_appends"`
+	Fsyncs       int64   `json:"fsyncs"`
+	Snapshots    int64   `json:"snapshots"`
+	CacheHit     float64 `json:"cache_hit_frac,omitempty"`
+}
+
+// StorageReport is the BENCH_storage.json payload.
+type StorageReport struct {
+	Records   int           `json:"records"`
+	ValueSize int           `json:"value_size"`
+	Nodes     int           `json:"nodes"`
+	Cells     []StorageCell `json:"cells"`
+	Heavy     []TrafficCell `json:"heavytraffic"`
+}
+
+// StorageCounters sums the durable engines' counters across the
+// deployment's nodes (all zero for legacy-store deployments).
+func (d *NICE) StorageCounters() metrics.StorageCounters {
+	var out metrics.StorageCounters
+	for _, n := range d.Nodes {
+		st, ok := n.Store().StorageStats()
+		if !ok {
+			continue
+		}
+		out.MemHits += st.MemHits
+		out.DiskReads += st.DiskReads
+		out.Evictions += st.Evictions
+		out.WALAppends += st.WALAppends
+		out.Fsyncs += st.Fsyncs
+		out.Snapshots += st.Snapshots
+		out.Recoveries += st.Recoveries
+		out.ReplayedRecords += st.ReplayedRecords
+		out.LostRecords += st.LostRecords
+		out.MemBytes += st.MemBytes
+		out.WALRecords += int64(st.WALRecords)
+	}
+	return out
+}
+
+// storageBudget sizes a node's memory budget so the expected resident
+// share of the replicated working set is 1/ratio: each of the nodes
+// holds records*value*R/nodes bytes of committed data on average.
+func storageBudget(ratio float64) int64 {
+	perNode := float64(storageSweepRecords*storageSweepValue*3) / float64(storageSweepNodes)
+	return int64(perNode / ratio)
+}
+
+// storageSweepOpts builds one arm's deployment: the cachesweep system
+// variants with the durable engine layered under all of them.
+func storageSweepOpts(system string, seed int64, ratio float64) (Options, error) {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = storageSweepNodes
+	opts.Clients = storageSweepClients
+	opts.DurableStore = true
+	opts.StoreMemoryBudget = storageBudget(ratio)
+	// Snapshot aggressively relative to the short measured window so the
+	// sweep includes checkpoint-write interference, not just fsyncs.
+	opts.StoreSnapshotEvery = 20 * time.Millisecond
+	switch system {
+	case "NICEKV":
+	case "NICEKV+LB":
+		opts.LoadBalance = true
+	case "NICEKV+cache":
+		opts.Cache = true
+		opts.CacheCapacity = 64
+		opts.CacheSampleEvery = 1
+		opts.CacheHotThreshold = 4
+		opts.CacheDecayEvery = 10 * time.Second
+	default:
+		return opts, fmt.Errorf("cluster: unknown storagesweep system %q", system)
+	}
+	return opts, nil
+}
+
+// runStorageCell loads the keyspace, then drives a read-mostly measured
+// phase and reports throughput, tails and the engine counters.
+func runStorageCell(pr Params, seed int64, system string, ratio float64) (StorageCell, error) {
+	cell := StorageCell{System: system, Ratio: ratio, BudgetBytes: storageBudget(ratio)}
+	opts, err := storageSweepOpts(system, seed, ratio)
+	if err != nil {
+		return cell, err
+	}
+	d := NewNICE(opts)
+	defer d.Close()
+	if err := d.Settle(); err != nil {
+		return cell, err
+	}
+
+	key := func(i int) string { return fmt.Sprintf("user%d", i) }
+	chooser := workload.NewZipfianTheta(storageSweepRecords, workload.ZipfTheta)
+
+	// Load phase: client 0 writes every record, filling the engines (and
+	// overflowing the smaller budgets into the disk tier).
+	var loadErr error
+	d.Sim.Spawn("storage-load", func(p *sim.Proc) {
+		for i := 0; i < storageSweepRecords; i++ {
+			if _, err := d.Clients[0].Put(p, key(i), "v", storageSweepValue); err != nil {
+				loadErr = err
+				break
+			}
+		}
+		d.Sim.Stop()
+	})
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	if loadErr != nil {
+		return cell, loadErr
+	}
+
+	// Measured phase: read-mostly mixed traffic against the zipfian head.
+	var getHist, putHist metrics.Histogram
+	ops := 0
+	start := d.Sim.Now()
+	var opErr error
+	g := sim.NewGroup(d.Sim)
+	for c := range d.Clients {
+		c := c
+		rng := rand.New(rand.NewSource(seed + 2000*int64(c+1)))
+		g.Add(1)
+		d.Sim.Spawn(fmt.Sprintf("storage-client%d", c), func(p *sim.Proc) {
+			defer g.Done()
+			for n := 0; n < pr.Ops; n++ {
+				k := key(chooser.Next(rng))
+				if rng.Float64() < storageSweepPutFrac {
+					res, err := d.Clients[c].Put(p, k, "v", storageSweepValue)
+					if err != nil {
+						opErr = err
+						return
+					}
+					putHist.Add(res.Latency)
+				} else {
+					res, err := d.Clients[c].Get(p, k)
+					if err != nil {
+						opErr = err
+						return
+					}
+					getHist.Add(res.Latency)
+				}
+				ops++
+			}
+		})
+	}
+	d.Sim.Spawn("storage-join", func(p *sim.Proc) { g.Wait(p); d.Sim.Stop() })
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	if opErr != nil {
+		return cell, opErr
+	}
+
+	if elapsed := (d.Sim.Now() - start).Seconds(); elapsed > 0 {
+		cell.Tput = float64(ops) / elapsed
+	}
+	cell.GetP99Micros = getHist.Percentile(99) * 1e6
+	cell.PutP99Micros = putHist.Percentile(99) * 1e6
+	sc := d.StorageCounters()
+	cell.MemHitRatio = sc.HitRate()
+	cell.Evictions = sc.Evictions
+	cell.WALAppends = sc.WALAppends
+	cell.Fsyncs = sc.Fsyncs
+	cell.Snapshots = sc.Snapshots
+	if d.Cache != nil {
+		cell.CacheHit = d.Cache.Stats().HitRate()
+	}
+	return cell, nil
+}
+
+// StorageSweep runs the (system, ratio) grid on the RunCells worker
+// pool, then the heavytraffic arm: heavyClients open-loop virtual
+// clients (default 100k) against a durable +LB deployment whose budget
+// holds half the preloaded working set.
+func StorageSweep(pr Params, heavyClients int) (*StorageReport, error) {
+	rep := &StorageReport{
+		Records:   storageSweepRecords,
+		ValueSize: storageSweepValue,
+		Nodes:     storageSweepNodes,
+	}
+	n := len(storageSweepSystems) * len(StorageRatios)
+	rep.Cells = make([]StorageCell, n)
+	err := RunCells(pr, n, func(i int, seed int64) error {
+		sys := storageSweepSystems[i/len(StorageRatios)]
+		ratio := StorageRatios[i%len(StorageRatios)]
+		c, cerr := runStorageCell(pr, seed, sys, ratio)
+		rep.Cells[i] = c
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if heavyClients <= 0 {
+		heavyClients = 100_000
+	}
+	opts, err := heavyTrafficOptions("nicekv+lb", DeriveSeed(pr.Seed, n))
+	if err != nil {
+		return nil, err
+	}
+	opts.DurableStore = true
+	// The traffic engine preloads 4096 records x 512 B, replicated R=3
+	// over 6 nodes = 1 MiB per node; budget half of it so the fleet's
+	// zipfian tail constantly promotes and evicts.
+	opts.StoreMemoryBudget = 512 << 10
+	heavy, err := runTrafficCell(opts, "nicekv+lb+durable", heavyClients, 60_000, 400*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	rep.Heavy = append(rep.Heavy, heavy)
+	return rep, nil
+}

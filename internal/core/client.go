@@ -177,16 +177,20 @@ func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, er
 	start := p.Now()
 	c.seq++
 	id := c.seq // c.seq advances under concurrent operations
-	req := &PutRequest{
-		Key:        key,
-		Value:      value,
-		Size:       size,
-		Client:     c.stack.IP(),
-		ClientPort: c.cfg.ReplyPort,
-		ClientSeq:  id,
-	}
 	last := "timeout"
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		// A fresh request per attempt: messages travel by reference in the
+		// sim, and each attempt must carry its own number so a replica can
+		// tell a stale abort from one aimed at the prepare it holds.
+		req := &PutRequest{
+			Key:        key,
+			Value:      value,
+			Size:       size,
+			Client:     c.stack.IP(),
+			ClientPort: c.cfg.ReplyPort,
+			ClientSeq:  id,
+			Attempt:    attempt,
+		}
 		f := sim.NewFuture[any](c.stack.Sim())
 		c.pending[id] = f
 

@@ -41,6 +41,12 @@ type PutRequest struct {
 	Client     netsim.IP
 	ClientPort uint16 // client's reply listener
 	ClientSeq  uint64
+	// Attempt numbers the client's delivery attempts of this operation.
+	// Retries reuse the (Client, ClientSeq) identity — dedup depends on
+	// that — so an abort must name the attempt it cancels: a stale abort
+	// from attempt N must not kill attempt N+1's prepare after its Ack1
+	// was counted toward a commit quorum.
+	Attempt int
 }
 
 func (r *PutRequest) key() reqKey { return reqKey{r.Client, r.ClientSeq} }
@@ -59,6 +65,9 @@ type TsMsg struct {
 	Key   string
 	Ts    kvstore.Timestamp
 	Abort bool // primary aborted the operation; release without applying
+	// Attempt scopes an abort to the delivery attempt it cancels (see
+	// PutRequest.Attempt). Commits converge any attempt and ignore it.
+	Attempt int
 	// Dup marks the dedup path's re-multicast of an already-committed
 	// timestamp: the version may predate the current membership, so a
 	// handoff stand-in must not treat the install as a post-failure write

@@ -8,6 +8,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -36,6 +37,10 @@ type NodeConfig struct {
 	// CacheUpdateOnPut selects write-update (refresh the cached copy in
 	// place) over the default write-invalidate.
 	CacheUpdateOnPut bool
+	// Storage, when non-nil, backs the node's store with the durable
+	// sharded engine (internal/storage): crash drops unfsynced WAL state
+	// and recovery really replays the log instead of resurrecting memory.
+	Storage *storage.Config
 }
 
 // DefaultNodeConfig fills the timing knobs.
@@ -135,11 +140,15 @@ const committedCap = 4096
 
 // NewNode builds a node on a host's transport stack.
 func NewNode(stack *transport.Stack, cfg NodeConfig) *Node {
+	store := kvstore.New(stack.Sim(), cfg.Disk)
+	if cfg.Storage != nil {
+		store = kvstore.NewDurable(stack.Sim(), cfg.Disk, *cfg.Storage)
+	}
 	return &Node{
 		cfg:          cfg,
 		stack:        stack,
 		s:            stack.Sim(),
-		store:        kvstore.New(stack.Sim(), cfg.Disk),
+		store:        store,
 		pool:         newConnPool(stack),
 		views:        make(map[int]*controller.PartitionView),
 		handoffFor:   make(map[int]bool),
@@ -485,7 +494,14 @@ func (n *Node) dataLoop(p *sim.Proc) {
 				n.orphan(m.Req).ack2[m.From] = true
 			}
 		case *TsMsg:
-			if ps := n.puts[m.Req]; ps != nil {
+			ps := n.puts[m.Req]
+			if ps != nil && m.Abort && m.Attempt != ps.req.Attempt {
+				// An abort from a previous delivery attempt of the same
+				// operation must not reach the live attempt — its Ack1 may
+				// already count toward a commit. It may still name a
+				// leftover prepared record, which lateTs attempt-matches.
+				n.lateTs(m)
+			} else if ps != nil {
 				if !ps.ts.Done() {
 					ps.ts.Set(m)
 				}
@@ -539,7 +555,7 @@ func (n *Node) registerPut(req *PutRequest) *putState {
 		for f := range o.ack2 {
 			ps.ack2[f] = true
 		}
-		if o.ts != nil {
+		if o.ts != nil && (!o.ts.Abort || o.ts.Attempt == req.Attempt) {
 			ps.ts.Set(o.ts)
 		}
 	}
@@ -572,10 +588,15 @@ func (n *Node) reportFailure(suspect int) {
 }
 
 // Crash cuts the node off the network, emulating a transient fail-stop
-// failure. Persistent state (objects, WAL) survives; in-memory state
-// (locks, in-flight puts) is lost at Restart.
+// failure. With a legacy store, persistent state (objects, WAL)
+// survives and in-memory state (locks, in-flight puts) is lost at
+// Restart. With a durable engine, the storage crash happens here, at
+// the failure instant: the memory tier and every unfsynced WAL record
+// are dropped deterministically, and recovery later rebuilds the store
+// from snapshot + log replay.
 func (n *Node) Crash() {
 	n.stack.Host().SetDown(true)
+	n.store.CrashStorage()
 }
 
 // Restart brings a crashed node back: memory state is reset and the node

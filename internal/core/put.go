@@ -80,7 +80,7 @@ func (n *Node) handlePut(p *sim.Proc, req *PutRequest) {
 		return // the granted lock died with the crash; don't touch the store
 	}
 	obj := &kvstore.Object{Key: req.Key, Value: req.Value, Size: req.Size}
-	n.store.AppendLog(p, kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key()})
+	n.store.AppendLog(p, kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key(), Attempt: req.Attempt})
 	n.store.ChargeWrite(p, req.Size)
 	if n.stale(ps) {
 		// Crashed while forcing the WAL record: withdraw it unless a
@@ -239,7 +239,7 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 		}
 		dbg("%v node%d ABORT %s: ack1=%v want=%d", p.Now(), n.cfg.Addr.Index, req.Key, ps.ack1, want)
 		// Abort: release everyone still waiting, clean up, fail the op.
-		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Abort: true}, tsMsgSize)
+		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Abort: true, Attempt: req.Attempt}, tsMsgSize)
 		n.store.DropLog(req.Key)
 		n.store.Unlock(req.Key)
 		n.stats.Aborts++
@@ -264,8 +264,17 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 	n.stats.Puts++
 	n.stats.PutsPrimary++
 
+	// Durable engines fsync the commit record before anything downstream
+	// learns of the commit (the timestamp multicast and, transitively,
+	// the client ack): an acknowledged put must survive this node's
+	// crash. Free in legacy mode.
+	n.store.Sync(p)
+	if n.stale(ps) {
+		return
+	}
+
 	// Commit phase: multicast the timestamp to the replica set.
-	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts}, tsMsgSize)
+	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts, Attempt: req.Attempt}, tsMsgSize)
 
 	if !n.waitAcks(p, ps, ps.ack2, need, want) {
 		if n.stale(ps) {
@@ -346,6 +355,13 @@ func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *Pu
 	n.store.DropLog(req.Key)
 	n.store.Unlock(req.Key)
 	n.stats.Puts++
+	// Fsync before Ack2: the primary counts this replica's copy toward
+	// the commit quorum, so the copy must survive a crash here. Free in
+	// legacy mode.
+	n.store.Sync(p)
+	if n.stale(ps) {
+		return
+	}
 	n.data.SendTo(primary.IP, primary.DataPort, &Ack2{Req: req.key(), From: me}, ackSize)
 }
 
@@ -391,7 +407,7 @@ func (n *Node) replyPut(req *PutRequest, ok bool, errStr string, ver uint64) {
 // straight from the WAL record, keeping replicas convergent.
 func (n *Node) lateTs(m *TsMsg) {
 	rec, ok := n.store.LogOf(m.Key)
-	if !ok || rec.Tag != any(m.Req) {
+	if !ok || rec.Tag != any(m.Req) || (m.Abort && rec.Attempt != m.Attempt) {
 		if !m.Abort {
 			if obj, have := n.store.Peek(m.Key); have &&
 				obj.Version.Client == m.Req.Client && obj.Version.ClientSeq == m.Req.Seq {
@@ -411,7 +427,14 @@ func (n *Node) lateTs(m *TsMsg) {
 				return
 			}
 		}
-		n.orphan(m.Req).ts = m
+		// Buffer for a prepare that may still be in flight. An abort never
+		// displaces a buffered commit: the commit is authoritative, and the
+		// abort can only belong to some other (dead) attempt.
+		o := n.orphan(m.Req)
+		if m.Abort && o.ts != nil && !o.ts.Abort {
+			return
+		}
+		o.ts = m
 		return
 	}
 	part := n.cfg.Space.PartitionOf(m.Key)
@@ -432,8 +455,27 @@ func (n *Node) lateTs(m *TsMsg) {
 		n.store.Unlock(m.Key)
 	}
 	n.stats.Puts++
-	if v := n.views[part]; v != nil {
-		pr := v.Primary()
-		n.data.SendTo(pr.IP, pr.DataPort, &Ack2{Req: m.Req, From: n.cfg.Addr.Index}, ackSize)
+	v := n.views[part]
+	if v == nil {
+		return
 	}
+	pr := v.Primary()
+	if n.store.Durable() {
+		// Fsync before the quorum-counting Ack2, exactly as in
+		// secondaryCommit: the primary treats this ack as "the copy
+		// survives a crash here". lateTs runs on the dispatch loop, so the
+		// forced write is charged to a spawned process and the ack follows
+		// it; the restart-generation fence drops the ack if this
+		// incarnation dies while the fsync is in flight.
+		gen := n.restartGen
+		n.s.Spawn(n.name("latesync"), func(p *sim.Proc) {
+			n.store.Sync(p)
+			if gen != n.restartGen {
+				return
+			}
+			n.data.SendTo(pr.IP, pr.DataPort, &Ack2{Req: m.Req, From: n.cfg.Addr.Index}, ackSize)
+		})
+		return
+	}
+	n.data.SendTo(pr.IP, pr.DataPort, &Ack2{Req: m.Req, From: n.cfg.Addr.Index}, ackSize)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/controller"
@@ -131,12 +132,15 @@ func (n *Node) fetchObjects(p *sim.Proc, from controller.NodeAddr, req any) bool
 
 // syncPartition fetches the partition's committed range from every
 // current view member, retrying unreachable ones until each has answered
-// once. Object stores survive restarts, so the union of the members'
-// ranges contains every acknowledged put: full replication commits on
-// every live member, and under any-k the chaos generator keeps at most
-// one member out at a time (a second concurrent outage could hide the
-// only reachable copy, which no amount of syncing recovers). stop aborts
-// the wait — demotion, or another crash of this node.
+// once. Legacy object stores survive restarts outright; durable stores
+// keep every *acked* write (fsynced before the ack) and recover it by
+// log replay before this sync runs. Either way the union of the
+// members' ranges contains every acknowledged put: full replication
+// commits on every live member, and under any-k the chaos generator
+// keeps at most one member out at a time (a second concurrent outage
+// could hide the only reachable copy, which no amount of syncing
+// recovers). stop aborts the wait — demotion, or another crash of this
+// node.
 func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool) {
 	synced := make(map[int]bool)
 	for {
@@ -179,6 +183,17 @@ func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool) {
 func (n *Node) recover(p *sim.Proc, info *controller.RejoinInfo) {
 	gen := n.restartGen
 	stop := func() bool { return gen != n.restartGen }
+	// A durable store first rebuilds itself from its own media — snapshot
+	// load plus WAL replay, charged as disk reads — before fetching what
+	// it missed from peers. Commits that land while the replay sleeps in
+	// disk time are safe: each one is version-checked against the
+	// engine's current state and appended to the WAL, so the replay
+	// (which runs in LSN order over the final log) converges on it.
+	// No-op in legacy mode, where the store resurrects.
+	n.store.RecoverStorage(p)
+	if stop() {
+		return // crashed again mid-replay; the new incarnation starts over
+	}
 	for i, v := range info.Views {
 		n.applyView(v, false)
 		part := v.Partition
@@ -194,6 +209,14 @@ func (n *Node) recover(p *sim.Proc, info *controller.RejoinInfo) {
 		if stop() {
 			return // crashed again mid-recovery; the new incarnation restarts rejoin
 		}
+	}
+	// Peer-fetched objects entered the engine through the volatile WAL
+	// tail; force them down before rejoining the serve set, or a second
+	// crash re-loses state the membership now counts on this node
+	// holding. Free in legacy mode.
+	n.store.Sync(p)
+	if stop() {
+		return
 	}
 	n.recovering = false
 	n.notifyConsistent(p)
@@ -233,6 +256,11 @@ func (n *Node) expand(p *sim.Proc, view *controller.PartitionView) {
 	gen := n.restartGen
 	n.syncPartition(p, part, func() bool { return gen != n.restartGen })
 	n.syncing[part] = false
+	if gen != n.restartGen {
+		return
+	}
+	// As in recover: the fetched range is volatile until fsynced.
+	n.store.Sync(p)
 	if gen != n.restartGen {
 		return
 	}
@@ -292,6 +320,10 @@ func (n *Node) resolveLocks(p *sim.Proc, v *controller.PartitionView, gen int) {
 	for k := range locked {
 		keys = append(keys, k)
 	}
+	// Sorted: keys feeds the VersionQuery wire messages and the
+	// commit/abort order below, and the simulation demands deterministic
+	// enumeration where Go's map iteration gives none.
+	sort.Strings(keys)
 	// Round two: who committed what?
 	committed := make(map[string]kvstore.Timestamp)
 	consider := func(k string, ts kvstore.Timestamp) {

@@ -188,6 +188,12 @@ type GenConfig struct {
 	// must exceed the failure detector's declaration time, or the cluster
 	// heals the fault before ever noticing it.
 	MinOutage, MaxOutage sim.Time
+	// Weights overrides the per-kind generation bias (index by Kind; must
+	// cover every kind). Nil keeps the default bias. A zero weight
+	// disables a kind; sweeps that stress one subsystem (e.g. crash
+	// recovery on a durable store) reshape the mix this way while the
+	// schedule's serialization and outage constraints stay identical.
+	Weights []int
 }
 
 // DefaultGenConfig sizes a schedule for a small chaos cell.
@@ -212,6 +218,14 @@ var kindWeights = [numKinds]int{
 	SlowNIC:    10,
 	SlowDisk:   10,
 	CtrlFault:  10,
+}
+
+// DefaultWeights returns a copy of the default generation bias, indexed
+// by Kind — the starting point for a GenConfig.Weights override.
+func DefaultWeights() []int {
+	out := make([]int, numKinds)
+	copy(out, kindWeights[:])
+	return out
 }
 
 // Generate builds a randomized schedule from seed under cfg's
@@ -272,14 +286,21 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		return n
 	}
 
+	weights := kindWeights[:]
+	if len(cfg.Weights) >= int(numKinds) {
+		weights = cfg.Weights[:numKinds]
+	}
 	total := 0
-	for _, w := range kindWeights {
+	for _, w := range weights {
 		total += w
+	}
+	if total <= 0 {
+		return sched
 	}
 	for i := 0; i < cfg.Events; i++ {
 		r := rng.Intn(total)
 		var kind Kind
-		for k, w := range kindWeights {
+		for k, w := range weights {
 			if r < w {
 				kind = Kind(k)
 				break

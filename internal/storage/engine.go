@@ -1,0 +1,556 @@
+// Package storage is a node-local durable storage engine for the
+// simulated cluster: a sharded, memory-budgeted object store with a
+// write-ahead log on the simulated disk tier, periodic compacting
+// snapshots, and LRU eviction from the memory tier to disk.
+//
+// The engine models the storage stack of one NICE node (DESIGN.md §13):
+//
+//   - The value bytes of every committed object already live on disk —
+//     the put protocol's W step forces them there before commit — so the
+//     memory tier is a cache over disk-resident data and eviction is a
+//     free metadata operation; only *reads* of evicted objects pay disk
+//     time.
+//   - What crashes lose is the *commit metadata*: which version of which
+//     object is the committed one. Commits append a record to the WAL
+//     tail in memory; the tail becomes durable when an fsync (Sync) or a
+//     snapshot covers it. Crash drops everything above the durable LSN,
+//     deterministically; a Sync in flight at the crash instant has not
+//     advanced the durable LSN yet, so its records are torn and lost.
+//   - Recovery is a real snapshot-load + log-replay: the volatile tiers
+//     are wiped at crash and rebuilt from the last complete snapshot
+//     plus the durable log suffix, charging disk-read time for both.
+//
+// Everything the engine enumerates (snapshot writers, Keys, replay) is
+// deterministic: shards are walked in index order and keys in sorted
+// order, never in Go map order.
+package storage
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DiskTier charges simulated time for transfers against the node's
+// serially-shared storage device. The implementation (kvstore's disk
+// resource) reads the live disk model on every call, so a slowdisk
+// fault degrades WAL fsyncs, snapshot writes and eviction reads exactly
+// as it degrades foreground object I/O.
+type DiskTier interface {
+	ReadDisk(p *sim.Proc, bytes int)
+	WriteDisk(p *sim.Proc, bytes int)
+}
+
+// Config parameterizes one engine.
+type Config struct {
+	// Shards is the hash-partition count; each shard has its own map,
+	// LRU list and slice of the memory budget.
+	Shards int
+	// MemoryBudget bounds the bytes resident in the memory tier across
+	// all shards (each shard owns budget/Shards). 0 = unbounded: nothing
+	// is ever evicted.
+	MemoryBudget int64
+	// FsyncOnAck makes Sync force the WAL tail; when false Sync is a
+	// no-op and commits become durable only through snapshots.
+	FsyncOnAck bool
+	// SnapshotEvery is the snapshot + log-truncate period (0 = never).
+	SnapshotEvery sim.Time
+	// WALRecordBytes is the on-disk size charged per WAL record.
+	WALRecordBytes int
+	// SnapshotEntryBytes is the per-entry metadata overhead charged on
+	// top of the value bytes when writing or loading a snapshot.
+	SnapshotEntryBytes int
+}
+
+// DefaultConfig sizes the engine for a simulated node.
+func DefaultConfig() Config {
+	return Config{
+		Shards:             8,
+		FsyncOnAck:         true,
+		SnapshotEvery:      200 * time.Millisecond,
+		WALRecordBytes:     64,
+		SnapshotEntryBytes: 32,
+	}
+}
+
+// Stats counts engine activity. Gauges (Entries, Resident, MemBytes,
+// WALRecords) are snapshots at read time; everything else accumulates
+// across crashes and recoveries — the counters model the device, which
+// survives.
+type Stats struct {
+	Commits int64 // committed object versions installed
+
+	MemHits   int64 // gets served from the memory tier (no disk time)
+	DiskReads int64 // gets of evicted objects (charged a disk read)
+	Misses    int64 // gets of absent keys
+	Evictions int64 // memory-tier residents demoted to disk-only
+
+	WALAppends     int64 // commit records appended to the WAL tail
+	Fsyncs         int64 // Sync calls that forced records to disk
+	FsyncedRecords int64 // records made durable by those fsyncs
+	LostRecords    int64 // unfsynced tail records dropped by crashes
+	TornRecords    int64 // crashes that tore an in-flight fsync
+
+	Snapshots        int64 // complete snapshots installed
+	SnapshotsAborted int64 // snapshot writes abandoned by a crash
+	SnapshotBytes    int64 // bytes of the last complete snapshot
+	TruncatedRecords int64 // WAL records retired by snapshots
+
+	Recoveries      int64 // completed crash recoveries
+	ReplayedRecords int64 // WAL records replayed across all recoveries
+
+	Entries    int   // keys known to the engine (both tiers)
+	Resident   int   // keys resident in the memory tier
+	MemBytes   int64 // bytes resident in the memory tier
+	WALRecords int   // live WAL records (since the last truncate)
+}
+
+// MemHitRatio returns memory-tier hits over all gets that found the key.
+func (s Stats) MemHitRatio() float64 {
+	total := s.MemHits + s.DiskReads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemHits) / float64(total)
+}
+
+// entry is one key's state: metadata always memory-resident, the value
+// reference served from the memory tier only while resident.
+type entry struct {
+	key      string
+	val      any
+	size     int
+	resident bool
+	// LRU intrusive list links (resident entries only).
+	prev, next *entry
+}
+
+// shard is one hash partition: its own map, LRU list and budget slice.
+type shard struct {
+	entries  map[string]*entry
+	lruHead  *entry // most recently used
+	lruTail  *entry // eviction victim
+	memBytes int64
+}
+
+// walRec is one commit record: enough to reinstall the committed
+// version at replay.
+type walRec struct {
+	key  string
+	val  any
+	size int
+}
+
+// snapEntry is one snapshot row; snapshots are written in sorted key
+// order so the write and the recovery load are deterministic.
+type snapEntry struct {
+	key  string
+	val  any
+	size int
+}
+
+// snapshot is the last complete checkpoint: state as of WAL position
+// lsn, so recovery is snapshot + wal[lsn:].
+type snapshot struct {
+	entries []snapEntry
+	bytes   int64
+	lsn     uint64
+}
+
+// RecoveryInfo summarizes one Recover call.
+type RecoveryInfo struct {
+	SnapshotBytes   int64 // snapshot read charged
+	ReplayedRecords int   // durable WAL records replayed
+	Interrupted     bool  // a second crash landed mid-recovery
+}
+
+// Engine is one node's storage engine.
+type Engine struct {
+	s           *sim.Simulator
+	cfg         Config
+	disk        DiskTier
+	shards      []shard
+	shardBudget int64
+	stats       Stats
+
+	// WAL: wal[i] has LSN walBase+i; records below durableLSN are on
+	// disk, the rest are the volatile tail a crash discards.
+	wal        []walRec
+	walBase    uint64
+	durableLSN uint64
+	syncing    int // Sync calls currently sleeping in the disk write
+
+	snap snapshot
+
+	// gen counts crashes; procs sleeping in disk time capture it and
+	// abandon their structural updates when it moved (their world died).
+	gen        int
+	down       bool
+	recovering bool
+}
+
+// NewEngine builds an empty engine clocked by s, charging disk time
+// through disk. Call Start to arm the snapshot loop.
+func NewEngine(s *sim.Simulator, cfg Config, disk DiskTier) *Engine {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultConfig().Shards
+	}
+	if cfg.WALRecordBytes <= 0 {
+		cfg.WALRecordBytes = DefaultConfig().WALRecordBytes
+	}
+	if cfg.SnapshotEntryBytes <= 0 {
+		cfg.SnapshotEntryBytes = DefaultConfig().SnapshotEntryBytes
+	}
+	e := &Engine{s: s, cfg: cfg, disk: disk}
+	if cfg.MemoryBudget > 0 {
+		e.shardBudget = (cfg.MemoryBudget + int64(cfg.Shards) - 1) / int64(cfg.Shards)
+	}
+	e.resetShards()
+	return e
+}
+
+// Start spawns the periodic snapshot process (no-op without a period).
+// The process belongs to the device, not the node software: it skips
+// cycles while the node is crashed and survives restarts.
+func (e *Engine) Start() {
+	if e.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	e.s.Spawn("storage-snap", func(p *sim.Proc) {
+		for {
+			p.Sleep(e.cfg.SnapshotEvery)
+			// No snapshots while crashed, and none while a recovery is
+			// rebuilding the tiers: a checkpoint of the half-replayed state
+			// would truncate WAL records it does not actually cover.
+			if e.down || e.recovering {
+				continue
+			}
+			e.writeSnapshot(p)
+		}
+	})
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns counters plus current gauges.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	for i := range e.shards {
+		sh := &e.shards[i]
+		st.Entries += len(sh.entries)
+		st.MemBytes += sh.memBytes
+	}
+	for i := range e.shards {
+		for cur := e.shards[i].lruHead; cur != nil; cur = cur.next {
+			st.Resident++
+		}
+	}
+	st.WALRecords = len(e.wal)
+	return st
+}
+
+// fnv1a hashes a key to its shard.
+func (e *Engine) shardOf(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &e.shards[h%uint32(len(e.shards))]
+}
+
+func (e *Engine) resetShards() {
+	e.shards = make([]shard, e.cfg.Shards)
+	for i := range e.shards {
+		e.shards[i].entries = make(map[string]*entry)
+	}
+}
+
+func (e *Engine) tailLSN() uint64 { return e.walBase + uint64(len(e.wal)) }
+
+// lruUnlink removes en from its shard's LRU list.
+func (sh *shard) lruUnlink(en *entry) {
+	if en.prev != nil {
+		en.prev.next = en.next
+	} else {
+		sh.lruHead = en.next
+	}
+	if en.next != nil {
+		en.next.prev = en.prev
+	} else {
+		sh.lruTail = en.prev
+	}
+	en.prev, en.next = nil, nil
+}
+
+// lruFront pushes en as most-recently-used.
+func (sh *shard) lruFront(en *entry) {
+	en.prev, en.next = nil, sh.lruHead
+	if sh.lruHead != nil {
+		sh.lruHead.prev = en
+	}
+	sh.lruHead = en
+	if sh.lruTail == nil {
+		sh.lruTail = en
+	}
+}
+
+// touch moves a resident entry to the LRU front.
+func (sh *shard) touch(en *entry) {
+	if sh.lruHead == en {
+		return
+	}
+	sh.lruUnlink(en)
+	sh.lruFront(en)
+}
+
+// evict demotes LRU victims until the shard fits its budget. Demotion is
+// free: the value bytes are already on disk (the W step forced them);
+// only the memory-tier reference is dropped.
+func (e *Engine) evict(sh *shard) {
+	if e.shardBudget <= 0 {
+		return
+	}
+	for sh.memBytes > e.shardBudget && sh.lruTail != nil {
+		victim := sh.lruTail
+		sh.lruUnlink(victim)
+		victim.resident = false
+		sh.memBytes -= int64(victim.size)
+		e.stats.Evictions++
+	}
+}
+
+// install places a committed version in the memory tier (write-allocate)
+// and rebalances the shard against its budget.
+func (e *Engine) install(key string, val any, size int) {
+	sh := e.shardOf(key)
+	en := sh.entries[key]
+	if en == nil {
+		en = &entry{key: key}
+		sh.entries[key] = en
+	} else if en.resident {
+		sh.memBytes -= int64(en.size)
+		sh.lruUnlink(en)
+	}
+	en.val, en.size, en.resident = val, size, true
+	sh.memBytes += int64(size)
+	sh.lruFront(en)
+	e.evict(sh)
+}
+
+// Commit installs a committed object version and appends its WAL record
+// to the volatile tail. It charges no time: the data write was paid in
+// the put protocol's W step, and the record reaches disk at the next
+// Sync or snapshot. Version ordering is the caller's contract — the
+// caller checks Peek before committing, so WAL order is version order
+// per key on this node.
+func (e *Engine) Commit(key string, val any, size int) {
+	if e.down {
+		// No caller should reach a crashed engine (the node's handlers
+		// are generation-fenced); tolerate it as a dropped write rather
+		// than corrupting recovery state.
+		e.stats.LostRecords++
+		return
+	}
+	e.install(key, val, size)
+	e.wal = append(e.wal, walRec{key: key, val: val, size: size})
+	e.stats.Commits++
+	e.stats.WALAppends++
+}
+
+// Get reads key. A memory-tier hit is free; an evicted key charges a
+// disk read of its size and is promoted back into the memory tier.
+func (e *Engine) Get(p *sim.Proc, key string) (any, bool) {
+	sh := e.shardOf(key)
+	en := sh.entries[key]
+	if en == nil {
+		e.stats.Misses++
+		return nil, false
+	}
+	if en.resident {
+		e.stats.MemHits++
+		sh.touch(en)
+		return en.val, true
+	}
+	e.stats.DiskReads++
+	val, size := en.val, en.size
+	gen := e.gen
+	e.disk.ReadDisk(p, size)
+	if gen == e.gen && !en.resident {
+		// Promote, unless a crash rebuilt the world (or a concurrent
+		// reader already promoted) while we slept in the disk read.
+		en.resident = true
+		sh.memBytes += int64(size)
+		sh.lruFront(en)
+		e.evict(sh)
+	}
+	return val, true
+}
+
+// Peek returns key's committed value without charging time or touching
+// the LRU state: metadata (the version inside the value) is always
+// memory-resident.
+func (e *Engine) Peek(key string) (any, bool) {
+	en := e.shardOf(key).entries[key]
+	if en == nil {
+		return nil, false
+	}
+	return en.val, true
+}
+
+// Len returns the number of keys known to the engine.
+func (e *Engine) Len() int {
+	n := 0
+	for i := range e.shards {
+		n += len(e.shards[i].entries)
+	}
+	return n
+}
+
+// Keys returns every key, sorted (deterministic enumeration for the
+// recovery wire protocol and the snapshot writer).
+func (e *Engine) Keys() []string {
+	out := make([]string, 0, e.Len())
+	for i := range e.shards {
+		for k := range e.shards[i].entries {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sync forces the volatile WAL tail to disk, charging one forced write
+// sized by the pending record count. Records appended while the write
+// is in flight are not covered; a crash during the write tears it and
+// the records stay volatile (the durable LSN only advances here, after
+// the write survives).
+func (e *Engine) Sync(p *sim.Proc) {
+	target := e.tailLSN()
+	if e.durableLSN >= target {
+		return
+	}
+	pending := int(target - e.durableLSN)
+	gen := e.gen
+	e.syncing++
+	e.disk.WriteDisk(p, pending*e.cfg.WALRecordBytes)
+	e.syncing--
+	if gen != e.gen {
+		return // crashed mid-fsync: the records were torn, not written
+	}
+	if target > e.durableLSN {
+		e.stats.Fsyncs++
+		e.stats.FsyncedRecords += int64(target - e.durableLSN)
+		e.durableLSN = target
+	}
+}
+
+// Durable reports whether every committed record is covered by an fsync
+// or snapshot (test instrumentation).
+func (e *Engine) Durable() bool { return e.durableLSN >= e.tailLSN() }
+
+// Crash models a node fail-stop at this instant: the volatile tiers
+// (memory tier, unfsynced WAL tail) vanish deterministically and the
+// engine refuses traffic until Recover rebuilds it from the durable
+// media. An fsync in flight is torn — its records never reached disk.
+func (e *Engine) Crash() {
+	e.gen++
+	e.down = true
+	lost := e.tailLSN() - e.durableLSN
+	if lost > 0 {
+		e.stats.LostRecords += int64(lost)
+		if e.syncing > 0 {
+			e.stats.TornRecords++
+		}
+	}
+	e.wal = e.wal[:e.durableLSN-e.walBase]
+	// The in-memory view dies with the process; Recover rebuilds it.
+	e.resetShards()
+}
+
+// Recover rebuilds the engine from the durable media: load the last
+// complete snapshot (charged as one disk read of its size), then replay
+// the durable WAL suffix in LSN order (charged as one sequential read).
+// Loaded state starts disk-resident — the memory tier comes back cold
+// and warms on reads. Safe to re-run: a crash mid-recovery leaves the
+// next incarnation to start over.
+func (e *Engine) Recover(p *sim.Proc) RecoveryInfo {
+	e.down = false
+	e.recovering = true
+	gen := e.gen
+	// Clear the flag only if this incarnation is still the current one: a
+	// crash mid-recovery starts a newer Recover, and this one's cleanup
+	// must not unmask snapshots under it.
+	defer func() {
+		if gen == e.gen {
+			e.recovering = false
+		}
+	}()
+	e.resetShards()
+	var info RecoveryInfo
+	if e.snap.entries != nil {
+		info.SnapshotBytes = e.snap.bytes
+		e.disk.ReadDisk(p, int(e.snap.bytes))
+		if gen != e.gen {
+			info.Interrupted = true
+			return info
+		}
+		for _, se := range e.snap.entries {
+			sh := e.shardOf(se.key)
+			sh.entries[se.key] = &entry{key: se.key, val: se.val, size: se.size}
+		}
+	}
+	if len(e.wal) > 0 {
+		e.disk.ReadDisk(p, len(e.wal)*e.cfg.WALRecordBytes)
+		if gen != e.gen {
+			info.Interrupted = true
+			return info
+		}
+		for _, rec := range e.wal {
+			e.install(rec.key, rec.val, rec.size)
+		}
+		info.ReplayedRecords = len(e.wal)
+		e.stats.ReplayedRecords += int64(len(e.wal))
+	}
+	e.stats.Recoveries++
+	return info
+}
+
+// writeSnapshot checkpoints the committed state: enumerate every entry
+// in sorted key order, charge the full write to disk, and — if no crash
+// landed during the write — install the snapshot and retire the WAL
+// prefix it covers. Commits that land while the write is in flight are
+// not in the captured state but keep their WAL records, so nothing is
+// lost; a crash mid-write abandons the attempt and the previous
+// snapshot plus the full log still recover everything durable.
+func (e *Engine) writeSnapshot(p *sim.Proc) {
+	gen := e.gen
+	lsn := e.tailLSN()
+	entries := make([]snapEntry, 0, e.Len())
+	bytes := int64(0)
+	for _, k := range e.Keys() {
+		en := e.shardOf(k).entries[k]
+		entries = append(entries, snapEntry{key: en.key, val: en.val, size: en.size})
+		bytes += int64(en.size) + int64(e.cfg.SnapshotEntryBytes)
+	}
+	e.disk.WriteDisk(p, int(bytes))
+	if gen != e.gen {
+		e.stats.SnapshotsAborted++
+		return
+	}
+	e.snap = snapshot{entries: entries, bytes: bytes, lsn: lsn}
+	e.stats.Snapshots++
+	e.stats.SnapshotBytes = bytes
+	if lsn > e.walBase {
+		drop := lsn - e.walBase
+		e.stats.TruncatedRecords += int64(drop)
+		e.wal = append([]walRec(nil), e.wal[drop:]...)
+		e.walBase = lsn
+	}
+	if lsn > e.durableLSN {
+		// The snapshot durably covers every record it retired.
+		e.durableLSN = lsn
+	}
+}
