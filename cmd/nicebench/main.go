@@ -91,6 +91,8 @@ func main() {
 		kernOut  = flag.String("kernel-out", "BENCH_kernel.json", "write kernel micro-benchmarks here (empty: skip)")
 		swOut    = flag.String("switch-out", "BENCH_switch.json", "write switch-scale lookup benchmarks here (empty: skip running them)")
 		chaosN   = flag.Int("chaos-schedules", 50, "fault schedules per system for -experiment chaos")
+		chaosCB  = flag.Float64("chaos-ctrl", 1, "controller-fault weight multiplier for the ctrlchain chaos cell (1 = default mix)")
+		ctrlOut  = flag.String("ctrl-out", "BENCH_ctrl.json", "write ctrlsweep failover results here (empty: skip)")
 		trafOut  = flag.String("traffic-out", "BENCH_traffic.json", "write heavytraffic sweep results here (empty: skip)")
 		storOut  = flag.String("storage-out", "BENCH_storage.json", "write storagesweep results here (empty: skip)")
 		storHeav = flag.Int("storage-heavy-clients", 100_000, "virtual-client fleet size for the storagesweep heavytraffic arm")
@@ -143,7 +145,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true, "ctrlsweep": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -324,7 +326,7 @@ func main() {
 	}
 	if want("chaos") {
 		t0 := time.Now()
-		rep, err := cluster.RunChaos(pr, *chaosN)
+		rep, err := cluster.RunChaos(pr, *chaosN, *chaosCB)
 		if err != nil {
 			fail(err)
 		}
@@ -335,6 +337,27 @@ func main() {
 			stopProfiles()
 			os.Exit(1)
 		}
+	}
+	if want("ctrlsweep") {
+		t0 := time.Now()
+		rep, err := cluster.CtrlFailoverSweep(pr, 10)
+		if err != nil {
+			fail(err)
+		}
+		rep.Fprint(os.Stdout)
+		fmt.Printf("-- ctrlsweep: %.2fs wall\n\n", time.Since(t0).Seconds())
+		if *ctrlOut != "" {
+			report := struct {
+				Env  benchEnv `json:"env"`
+				Seed int64    `json:"seed"`
+				*cluster.CtrlReport
+			}{env(), *seed, rep}
+			if err := writeJSON(*ctrlOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *ctrlOut)
+		}
+		ran++
 	}
 	if want("heavytraffic") {
 		sizes, err := parseSizes(*trafSize)
@@ -449,7 +472,7 @@ func main() {
 
 	if ran == 0 {
 		stopProfiles()
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep ctrlsweep)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}

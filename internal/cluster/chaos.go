@@ -53,6 +53,9 @@ type chaosSystem struct {
 	// weights reshapes the generator's fault mix (index by
 	// faultinject.Kind); nil keeps the default bias.
 	weights []int
+	// chainNodes is the control-chain replica count; non-zero lets the
+	// generator draw chainkill targets (ctrlchain systems only).
+	chainNodes int
 }
 
 // chaosSystems returns the tested configurations. The quorum system runs
@@ -100,6 +103,22 @@ func chaosSystems() []chaosSystem {
 			o.StoreShards = 2
 			o.StoreSnapshotEvery = 100 * time.Millisecond
 		}, weights: durableWeights()},
+		// The ctrlchain cell kills the control plane itself: the active
+		// metadata host crashes mid-run (ctrlcrash), chain replicas
+		// fail-stop under it (chainkill), and storage nodes crash alongside
+		// — all while the hot standby must take over from the chain tail
+		// and fence the returning zombie. The in-switch cache is on with a
+		// hair trigger so takeovers land mid-install. Appended last: cell
+		// seeds derive from sweep position (see the durable cell's note).
+		{name: "NICEKV+ctrlchain", tune: func(o *Options) {
+			o.LoadBalance = true
+			o.Standby = true
+			o.CtrlChain = true
+			o.Cache = true
+			o.CacheHotThreshold = 4
+			o.CacheSampleEvery = 1
+			o.CacheDecayEvery = 200 * time.Millisecond
+		}, weights: ctrlWeights(), chainNodes: 3},
 	}
 }
 
@@ -115,6 +134,25 @@ func durableWeights() []int {
 	w[faultinject.DelaySpike] = 5
 	w[faultinject.SlowNIC] = 5
 	w[faultinject.CtrlFault] = 5
+	return w
+}
+
+// ctrlWeights biases the ctrlchain cell's schedules toward the faults
+// the replicated control plane exists to survive: controller crashes,
+// chain replica fail-stops, and the node crashes whose handoffs the
+// promoted controller must drive from restored state.
+func ctrlWeights() []int {
+	w := faultinject.DefaultWeights()
+	w[faultinject.NodeCrash] = 30
+	w[faultinject.CtrlCrash] = 40
+	w[faultinject.ChainKill] = 25
+	w[faultinject.Partition] = 0
+	w[faultinject.LinkDown] = 5
+	w[faultinject.LinkLoss] = 10
+	w[faultinject.DelaySpike] = 5
+	w[faultinject.SlowNIC] = 5
+	w[faultinject.SlowDisk] = 5
+	w[faultinject.CtrlFault] = 10
 	return w
 }
 
@@ -136,12 +174,30 @@ func chaosOptions(seed int64) Options {
 	return opts
 }
 
-func chaosGenConfig(sys chaosSystem) faultinject.GenConfig {
+// chaosGenConfig builds the generator bounds for one system. ctrlBias
+// (the -chaos-ctrl knob; 0 or 1 = neutral) scales the controller-fault
+// weights of systems that opted into them — systems without
+// controller faults keep weight zero regardless, so their longstanding
+// schedules stay byte-identical whatever the knob says.
+func chaosGenConfig(sys chaosSystem, ctrlBias float64) faultinject.GenConfig {
 	cfg := faultinject.DefaultGenConfig(chaosOptions(0).Nodes, chaosHorizon)
 	if sys.maxOutages > 0 {
 		cfg.MaxOutages = sys.maxOutages
 	}
+	cfg.ChainNodes = sys.chainNodes
 	cfg.Weights = sys.weights
+	if ctrlBias > 0 && ctrlBias != 1 && sys.weights != nil {
+		w := append([]int(nil), sys.weights...)
+		for _, k := range []faultinject.Kind{faultinject.CtrlCrash, faultinject.ChainKill} {
+			if w[k] > 0 {
+				w[k] = int(float64(w[k]) * ctrlBias)
+				if w[k] < 1 {
+					w[k] = 1
+				}
+			}
+		}
+		cfg.Weights = w
+	}
 	return cfg
 }
 
@@ -198,6 +254,23 @@ func (f *niceFabric) SetCtrlFault(extra sim.Time, drop float64) {
 	}
 }
 
+// CrashCtrl fail-stops the active metadata host: heartbeats, standby
+// pings and control responses all stop dead, exactly like a kernel
+// panic on the controller machine. The hot standby's watchdog is what
+// notices.
+func (f *niceFabric) CrashCtrl() { f.d.MetaHost.SetDown(true) }
+
+// RestartCtrl revives the old primary's host — the zombie returns with
+// its pre-crash state and must be fenced, not obeyed.
+func (f *niceFabric) RestartCtrl() { f.d.MetaHost.SetDown(false) }
+
+// SetChainDown fail-stops (or revives) one control-chain replica.
+func (f *niceFabric) SetChainDown(i int, down bool) {
+	if f.d.Chain != nil {
+		f.d.Chain.SetDown(i, down)
+	}
+}
+
 // ChaosCell is the outcome of one (system, schedule) run.
 type ChaosCell struct {
 	System   string
@@ -220,6 +293,12 @@ type ChaosCell struct {
 	// determinism recheck.
 	Recoveries int64
 	Replayed   int64
+	// Takeovers counts standby promotions (0 or 1 per cell); Fenced sums
+	// the zombie writes rejected at the state store, the chain head and
+	// the switches. Both join the determinism recheck for ctrlchain
+	// systems: a replay must fence the exact same writes.
+	Takeovers int64
+	Fenced    int64
 }
 
 // Repro is the one-line reproduction command for this cell.
@@ -346,6 +425,16 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 		}
 		cell.Violations = append(cell.Violations, hist.CheckDurability(final)...)
 	}
+	if opts.Standby {
+		cell.Fenced = d.Service.Stats().FencedWrites + d.Core.Stats().FencedMods
+		if d.Chain != nil {
+			cell.Fenced += d.Chain.Stats().Fenced
+		}
+		if promoted := d.Standby.Promoted(); promoted != nil {
+			cell.Takeovers = 1
+			cell.Fenced += promoted.Stats().FencedWrites
+		}
+	}
 	return cell, nil
 }
 
@@ -398,6 +487,7 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 	for si, name := range r.Systems {
 		ops, failed, faults, bad := 0, 0, 0, 0
 		traffic, recov, replayed := int64(0), int64(0), int64(0)
+		takeovers, fenced := int64(0), int64(0)
 		for i := si * r.Schedules; i < (si+1)*r.Schedules; i++ {
 			c := &r.Cells[i]
 			ops += c.Ops
@@ -407,6 +497,8 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 			traffic += c.TrafficOps
 			recov += c.Recoveries
 			replayed += c.Replayed
+			takeovers += c.Takeovers
+			fenced += c.Fenced
 		}
 		fmt.Fprintf(w, "%-20s ops=%-6d failed=%-5d faults=%-4d violations=%d",
 			name, ops, failed, faults, bad)
@@ -415,6 +507,9 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 		}
 		if recov > 0 {
 			fmt.Fprintf(w, " recoveries=%d replayed=%d", recov, replayed)
+		}
+		if takeovers > 0 {
+			fmt.Fprintf(w, " takeovers=%d fenced=%d", takeovers, fenced)
 		}
 		fmt.Fprintln(w)
 	}
@@ -436,8 +531,10 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 
 // RunChaos sweeps `schedules` randomized fault schedules over every
 // chaos system on the RunCells worker pool, then replays schedule 0 of
-// each system to confirm determinism.
-func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
+// each system to confirm determinism. ctrlBias scales the
+// controller-fault weights of the systems that use them (the
+// -chaos-ctrl knob; 0 or 1 leaves the default mix).
+func RunChaos(pr Params, schedules int, ctrlBias float64) (*ChaosReport, error) {
 	systems := chaosSystems()
 	rep := &ChaosReport{Schedules: schedules}
 	for _, s := range systems {
@@ -446,7 +543,7 @@ func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
 	rep.Cells = make([]ChaosCell, len(systems)*schedules)
 	err := RunCells(pr, len(rep.Cells), func(i int, seed int64) error {
 		sys := systems[i/schedules]
-		sched := faultinject.Generate(seed, chaosGenConfig(sys))
+		sched := faultinject.Generate(seed, chaosGenConfig(sys, ctrlBias))
 		cell, err := runChaosCell(sys, sched)
 		rep.Cells[i] = cell
 		return err
@@ -462,12 +559,14 @@ func RunChaos(pr Params, schedules int) (*ChaosReport, error) {
 			return nil, err
 		}
 		if again.Hash != first.Hash || again.TrafficOps != first.TrafficOps ||
-			again.Recoveries != first.Recoveries || again.Replayed != first.Replayed {
+			again.Recoveries != first.Recoveries || again.Replayed != first.Replayed ||
+			again.Takeovers != first.Takeovers || again.Fenced != first.Fenced {
 			rep.DeterminismOK = false
 			rep.Mismatches = append(rep.Mismatches,
-				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d, recoveries %d vs %d, replayed %d vs %d (%s)",
+				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d, recoveries %d vs %d, replayed %d vs %d, takeovers %d vs %d, fenced %d vs %d (%s)",
 					sys.name, first.Hash, again.Hash, first.TrafficOps, again.TrafficOps,
-					first.Recoveries, again.Recoveries, first.Replayed, again.Replayed, first.Repro()))
+					first.Recoveries, again.Recoveries, first.Replayed, again.Replayed,
+					first.Takeovers, again.Takeovers, first.Fenced, again.Fenced, first.Repro()))
 		}
 	}
 	return rep, nil

@@ -13,7 +13,7 @@ import (
 // keeps the same machinery honest under -race on every push.
 func TestChaosSmoke(t *testing.T) {
 	const schedules = 4
-	rep, err := RunChaos(Params{Seed: 42}, schedules)
+	rep, err := RunChaos(Params{Seed: 42}, schedules, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestChaosSmoke(t *testing.T) {
 // with the sequential one.
 func TestChaosDeterminism(t *testing.T) {
 	sys := chaosSystems()[0]
-	sched := faultinject.Generate(DeriveSeed(7, 3), chaosGenConfig(sys))
+	sched := faultinject.Generate(DeriveSeed(7, 3), chaosGenConfig(sys, 0))
 	a, err := runChaosCell(sys, sched)
 	if err != nil {
 		t.Fatal(err)
@@ -52,11 +52,11 @@ func TestChaosDeterminism(t *testing.T) {
 			a.Ops, b.Ops, a.Failed, b.Failed, a.Hash, b.Hash)
 	}
 
-	seq, err := RunChaos(Params{Seed: 11, Seq: true}, 2)
+	seq, err := RunChaos(Params{Seed: 11, Seq: true}, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunChaos(Params{Seed: 11}, 2)
+	par, err := RunChaos(Params{Seed: 11}, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestChaosDeterminism(t *testing.T) {
 // prints must replay to the exact same execution.
 func TestChaosReplayRoundTrip(t *testing.T) {
 	sys := chaosSystems()[2] // quorum: the most failure-sensitive config
-	sched := faultinject.Generate(DeriveSeed(5, 1), chaosGenConfig(sys))
+	sched := faultinject.Generate(DeriveSeed(5, 1), chaosGenConfig(sys, 0))
 	orig, err := runChaosCell(sys, sched)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// The ctrlsweep experiment measures what a controller crash actually
+// costs: at t0 the active metadata host fail-stops and, in the same
+// instant, one storage replica of partition 0 crashes — the worst
+// moment to lose the brain, because only a controller can install the
+// handoff that restores put availability for that partition. Three
+// arms differ only in the control plane:
+//
+//   - none:        a single controller, no replica. The partition
+//                  never heals; the arm is the negative control.
+//   - hot-standby: the §4.1 mirror. The standby promotes from its
+//                  best-effort StateSync copy.
+//   - ctrlchain:   the standby restores views, statuses and cache
+//                  install records from the NetChain-style replicated
+//                  store (internal/ctrlchain) and fences the zombie.
+//
+// Every arm runs the in-switch cache with a hair trigger so the sweep
+// also times how long the cache stays headless: a key made hot only
+// after t0 cannot be installed until a live controller manages the
+// switch again.
+
+// ctrlSweepCap bounds how long one cell waits for recovery; a metric
+// that misses the cap is reported in Unrecovered, not in the summary.
+const ctrlSweepCap = 3 * time.Second
+
+// CtrlArms lists the sweep arms in report order.
+var CtrlArms = []string{"none", "hot-standby", "ctrlchain"}
+
+// ctrlCell is one (arm, seed) measurement; negative latencies mean the
+// event never happened before ctrlSweepCap.
+type ctrlCell struct {
+	takeover, handoff, put, cache sim.Time
+}
+
+// CtrlArmResult aggregates one arm across seeds. All summaries are in
+// seconds and cover only the seeds where the event occurred; Seeds
+// minus a summary's N is how often it never did.
+type CtrlArmResult struct {
+	Arm   string `json:"arm"`
+	Seeds int    `json:"seeds"`
+	// Recovered counts seeds where partition 0 accepted a put again.
+	Recovered int `json:"recovered"`
+	// Takeover: controller death -> standby promoted.
+	Takeover metrics.Summary `json:"takeover"`
+	// Handoff: controller death -> replacement view (crashed replica
+	// out, handoff in) installed by the new controller.
+	Handoff metrics.Summary `json:"handoff"`
+	// Put: controller death -> first acked put to the orphaned
+	// partition.
+	Put metrics.Summary `json:"put"`
+	// CacheInstall: controller death -> first post-takeover switch
+	// cache install of a key made hot after the crash.
+	CacheInstall metrics.Summary `json:"cache_install"`
+}
+
+// CtrlReport is the ctrlsweep outcome, one result per arm.
+type CtrlReport struct {
+	Seeds int             `json:"seeds_per_arm"`
+	Arms  []CtrlArmResult `json:"arms"`
+}
+
+// ctrlSweepOptions is the cell deployment: the chaos cluster shape with
+// the hair-trigger cache and fast failure detection.
+func ctrlSweepOptions(arm string, seed int64) Options {
+	opts := chaosOptions(seed)
+	opts.Clients = 1
+	// One attempt per probe call: the prober loop does its own retrying,
+	// and a small per-op budget keeps the recovery timestamp fine-grained
+	// instead of quantized by the client's internal backoff.
+	opts.MaxRetries = 1
+	opts.RetryWait = 2 * time.Millisecond
+	opts.RetryMaxWait = 4 * time.Millisecond
+	opts.Cache = true
+	opts.CacheHotThreshold = 4
+	opts.CacheSampleEvery = 1
+	switch arm {
+	case "hot-standby":
+		opts.Standby = true
+	case "ctrlchain":
+		opts.Standby = true
+		opts.CtrlChain = true
+	}
+	return opts
+}
+
+// runCtrlCell executes one (arm, seed) failover measurement.
+func runCtrlCell(arm string, seed int64) (ctrlCell, error) {
+	cell := ctrlCell{takeover: -1, handoff: -1, put: -1, cache: -1}
+	opts := ctrlSweepOptions(arm, seed)
+	d := NewNICE(opts)
+	defer d.Close()
+	if err := d.Settle(); err != nil {
+		return cell, err
+	}
+
+	const part = 0
+	victim := d.Service.View(part).Replicas[0].Index // partition primary
+	keys := d.keysInPartition(part, 4)
+	hotKey := d.keysInPartition(1, 1)[0] // healthy partition: cache target
+
+	var t0 sim.Time
+	var runErr error
+	d.Sim.Spawn("ctrlsweep-driver", func(p *sim.Proc) {
+		defer d.Sim.Stop()
+		c := d.Clients[0]
+		for _, k := range append(keys, hotKey) {
+			if _, err := c.Put(p, k, "warm", chaosValSize); err != nil {
+				runErr = fmt.Errorf("warmup put: %w", err)
+				return
+			}
+		}
+		t0 = p.Now()
+		d.MetaHost.SetDown(true)
+		d.Nodes[victim].Crash()
+
+		// Watcher: promotion and the replacement view, polled fine-grained
+		// so the put prober's timeouts don't quantize them.
+		if d.Standby != nil {
+			d.Sim.Spawn("ctrlsweep-watch", func(wp *sim.Proc) {
+				for wp.Now()-t0 < sim.Time(ctrlSweepCap) {
+					if svc := d.Standby.Promoted(); svc != nil {
+						if cell.takeover < 0 {
+							cell.takeover = wp.Now() - t0
+						}
+						v := svc.View(part)
+						if v != nil && !v.HasReplica(victim) && v.Handoff != nil {
+							cell.handoff = wp.Now() - t0
+							return
+						}
+					}
+					wp.Sleep(500 * time.Microsecond)
+				}
+			})
+		}
+
+		// Put prober: availability of the orphaned partition.
+		for p.Now()-t0 < sim.Time(ctrlSweepCap) {
+			if _, err := c.Put(p, keys[0], "probe", chaosValSize); err == nil {
+				cell.put = p.Now() - t0
+				break
+			}
+			p.Sleep(5 * time.Millisecond)
+		}
+		if cell.put < 0 {
+			return // never recovered; cache metric is moot
+		}
+
+		// Cache prober: heat hotKey from cold. Installs recorded after
+		// promotion can only come from the new controller's manager — the
+		// zombie's in-flight installs are fenced at the switch.
+		base := d.Cache.Stats().Installs
+		for p.Now()-t0 < sim.Time(ctrlSweepCap) {
+			if _, err := c.Get(p, hotKey); err != nil {
+				p.Sleep(time.Millisecond)
+				continue
+			}
+			if d.Cache.Stats().Installs > base {
+				cell.cache = p.Now() - t0
+				return
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	return cell, runErr
+}
+
+// CtrlFailoverSweep runs `seeds` failover measurements per arm on the
+// RunCells worker pool.
+func CtrlFailoverSweep(pr Params, seeds int) (*CtrlReport, error) {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	cells := make([]ctrlCell, len(CtrlArms)*seeds)
+	err := RunCells(pr, len(cells), func(i int, seed int64) error {
+		cell, err := runCtrlCell(CtrlArms[i/seeds], seed)
+		cells[i] = cell
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &CtrlReport{Seeds: seeds}
+	for ai, arm := range CtrlArms {
+		res := CtrlArmResult{Arm: arm, Seeds: seeds}
+		var tk, ho, pt, ca metrics.Histogram
+		for i := ai * seeds; i < (ai+1)*seeds; i++ {
+			c := cells[i]
+			if c.takeover >= 0 {
+				tk.Add(c.takeover)
+			}
+			if c.handoff >= 0 {
+				ho.Add(c.handoff)
+			}
+			if c.put >= 0 {
+				pt.Add(c.put)
+				res.Recovered++
+			}
+			if c.cache >= 0 {
+				ca.Add(c.cache)
+			}
+		}
+		res.Takeover = tk.Summary()
+		res.Handoff = ho.Summary()
+		res.Put = pt.Summary()
+		res.CacheInstall = ca.Summary()
+		rep.Arms = append(rep.Arms, res)
+	}
+	return rep, nil
+}
+
+// Fprint renders the sweep, one arm per block.
+func (r *CtrlReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== ctrlsweep: controller death + partition-0 replica crash, %d seeds per arm ==\n", r.Seeds)
+	for _, a := range r.Arms {
+		fmt.Fprintf(w, "%-12s recovered %d/%d\n", a.Arm, a.Recovered, a.Seeds)
+		if a.Takeover.N > 0 {
+			fmt.Fprintf(w, "  takeover      %s\n", a.Takeover)
+		}
+		if a.Handoff.N > 0 {
+			fmt.Fprintf(w, "  handoff       %s\n", a.Handoff)
+		}
+		if a.Put.N > 0 {
+			fmt.Fprintf(w, "  put-recovery  %s\n", a.Put)
+		}
+		if a.CacheInstall.N > 0 {
+			fmt.Fprintf(w, "  cache-install %s\n", a.CacheInstall)
+		}
+	}
+}

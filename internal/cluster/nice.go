@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/ctrlchain"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
@@ -50,9 +51,18 @@ type Options struct {
 	QuorumK       int      // any-k puts (0 = all replicas)
 	CPUPerOp      sim.Time // per-request node processing cost
 	Standby       bool     // deploy a hot-standby metadata replica (§4.1)
-	DynamicLB     bool     // workload-informed division rebalancing (§8)
-	LazyMapping   bool     // install vring rules on first packet (§5)
-	MappingIdle   sim.Time // idle expiry for vring rules (0 = never)
+	// CtrlChain replicates the controller's coordination state across a
+	// NetChain-style chain of switch-resident stores (internal/ctrlchain):
+	// takeover restores views, statuses and cache installs from the chain
+	// tail instead of the best-effort StateSync mirror, and writer
+	// generations fence a returning zombie primary out of the chain and
+	// the switches.
+	CtrlChain bool
+	// CtrlChainReplicas overrides the chain length (0 = ctrlchain default).
+	CtrlChainReplicas int
+	DynamicLB         bool     // workload-informed division rebalancing (§8)
+	LazyMapping       bool     // install vring rules on first packet (§5)
+	MappingIdle       sim.Time // idle expiry for vring rules (0 = never)
 	// ClientIPs overrides the default client placement (useful to pin
 	// clients into specific load-balancing divisions).
 	ClientIPs []netsim.IP
@@ -176,6 +186,7 @@ type NICE struct {
 	Gateways []Gateway                // traffic gateways (leaf-spine only)
 	Cache    *switchcache.Cache       // nil unless Opts.Cache
 	CacheMgr *controller.CacheManager // nil unless Opts.Cache
+	Chain    *ctrlchain.Chain         // nil unless Opts.CtrlChain
 	// NodeLinks[i] is storage node i's access link (fault injection cuts
 	// and degrades these); ClientLinks likewise for clients (nil entries
 	// under EdgeOVS, where the client link is behind its own switch).
@@ -281,6 +292,19 @@ func NewNICE(opts Options) *NICE {
 	if opts.Standby {
 		cfg.StandbyIP = standbyStack.IP()
 	}
+	// The coordination-state store is shared between the active service
+	// and its standby: that is what keeps Acquire monotonic across a
+	// takeover and fences the old primary.
+	if opts.CtrlChain {
+		chcfg := ctrlchain.DefaultConfig()
+		if opts.CtrlChainReplicas > 0 {
+			chcfg.Replicas = opts.CtrlChainReplicas
+		}
+		d.Chain = ctrlchain.New(s, chcfg)
+		cfg.Store = controller.NewChainStore(d.Chain)
+	} else if opts.Standby {
+		cfg.Store = controller.NewMemStore()
+	}
 	d.Unicast = cfg.Unicast
 	d.Service = controller.New(metaStack, topo, cfg, addrs)
 	d.Service.Start()
@@ -313,6 +337,9 @@ func NewNICE(opts Options) *NICE {
 			mcfg.DecayEvery = opts.CacheDecayEvery
 		}
 		d.CacheMgr = d.Service.EnableCache(d.Cache, mcfg)
+		if d.Standby != nil {
+			d.Standby.EnableCacheOnTakeover(d.Cache, mcfg)
+		}
 	}
 
 	// Storage nodes.

@@ -93,7 +93,7 @@ func TestChaosDurableStore(t *testing.T) {
 
 	var recoveries, replayed int64
 	for i := 0; i < 3; i++ {
-		sched := faultinject.Generate(DeriveSeed(42, i), chaosGenConfig(sys))
+		sched := faultinject.Generate(DeriveSeed(42, i), chaosGenConfig(sys, 0))
 		cell, err := runChaosCell(sys, sched)
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/ring"
@@ -81,6 +82,29 @@ func (svc *Service) EnableCache(c *switchcache.Cache, cfg CacheManagerConfig) *C
 	}
 	svc.cacheMgr = cm
 	c.SetSampler(cm.OnSample)
+	// A chain-backed takeover reconciles the switch table against the
+	// replicated install records: an entry the chain does not list as
+	// resident was evicted (or never recorded) under the old generation,
+	// and the new controller cannot vouch for its version — evict it.
+	// Keys the chain lists but the switch lacks need nothing; the next
+	// misses re-install them through the normal path.
+	if svc.restoredCache != nil {
+		resident := make(map[string]bool, len(svc.restoredCache))
+		for _, ce := range svc.restoredCache {
+			if ce.Resident {
+				resident[ce.Key] = true
+			}
+		}
+		keys := c.Keys()
+		sort.Strings(keys)
+		for _, key := range keys {
+			if !resident[key] {
+				svc.store.WriteCache(svc.gen, key, 0, false)
+				c.EvictAs(svc.gen, key)
+				cm.stats.Evicts++
+			}
+		}
+	}
 	if cfg.DecayEvery > 0 {
 		svc.s.Spawn("cache-decay", func(p *sim.Proc) {
 			for {
@@ -141,15 +165,23 @@ func (cm *CacheManager) onFetchReply(m *CacheFetchReply) {
 	if !m.Found || cm.cache.Contains(m.Key) {
 		return
 	}
+	// Write the install intent through to the state store first: a
+	// rejection means a newer controller generation owns cache
+	// management and this manager belongs to a fenced zombie.
+	if !cm.svc.store.WriteCache(cm.svc.gen, m.Key, m.Ver, true) {
+		cm.svc.stats.FencedWrites++
+		return
+	}
 	if cm.cache.Len() >= cm.cache.Config().Capacity {
 		victim, cold := cm.coldest()
 		if victim == "" || cold >= cm.sketch.Estimate(m.Key) {
 			return // nothing resident is colder than the candidate
 		}
-		cm.cache.Evict(victim)
+		cm.svc.store.WriteCache(cm.svc.gen, victim, 0, false)
+		cm.cache.EvictAs(cm.svc.gen, victim)
 		cm.stats.Evicts++
 	}
-	cm.cache.Install(m.Key, m.Value, m.Size, m.Ver)
+	cm.cache.InstallAs(cm.svc.gen, m.Key, m.Value, m.Size, m.Ver)
 	cm.stats.Installs++
 }
 

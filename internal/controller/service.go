@@ -62,6 +62,12 @@ type Config struct {
 	// RebalanceMinOps is the minimum per-partition request count in one
 	// period before the rebalancer acts.
 	RebalanceMinOps int
+	// Store is the coordination-state backend (nil = a private
+	// MemStore, today's behavior). The cluster harness shares one store
+	// instance between the active controller and its standby so writer
+	// generations stay monotonic across a takeover — that monotonicity
+	// is the split-brain fence.
+	Store StateStore
 }
 
 // DefaultConfig fills the timing knobs the paper implies.
@@ -101,6 +107,7 @@ type Stats struct {
 	HBReceived   int64
 	Rebalances   int64 // dynamic-LB assignment changes
 	StatsPolls   int64 // flow-stats requests issued by the rebalancer
+	FencedWrites int64 // state writes rejected because a newer controller generation owns the store
 	RulesPerPart int   // snapshot: forwarding entries for one partition
 }
 
@@ -115,6 +122,16 @@ type Service struct {
 	views []*PartitionView
 	stats Stats
 	trace func(format string, args ...any) // optional event log
+
+	// store is the coordination-state backend; gen is this instance's
+	// writer generation (acquired at Start). All state writes and
+	// switch mutations carry gen so a fenced zombie is rejected both at
+	// the store and at the datapaths.
+	store StateStore
+	gen   uint64
+	// restoredCache is the replicated switch-cache state a chain-backed
+	// takeover read from the store (introspection for tests).
+	restoredCache []CacheState
 
 	// learning-switch state (§5 mapping service)
 	known   map[netsim.IP]hostLoc
@@ -158,6 +175,11 @@ func New(stack *transport.Stack, topo Topology, cfg Config, nodes []NodeAddr) *S
 		pending: make(map[netsim.IP][]pendingPkt),
 		arped:   make(map[netsim.IP]sim.Time),
 	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+		svc.cfg.Store = cfg.Store
+	}
+	svc.store = cfg.Store
 	for _, a := range nodes {
 		svc.nodes = append(svc.nodes, &nodeState{addr: a, status: nodeUp})
 	}
@@ -193,6 +215,13 @@ func (svc *Service) Stats() Stats {
 // callers must not mutate it).
 func (svc *Service) View(p int) *PartitionView { return svc.views[p] }
 
+// Gen returns this instance's writer generation (0 before Start).
+func (svc *Service) Gen() uint64 { return svc.gen }
+
+// RestoredCache returns the replicated switch-cache install records a
+// chain-backed takeover read from the state store (nil otherwise).
+func (svc *Service) RestoredCache() []CacheState { return svc.restoredCache }
+
 // NodeAddrOf returns the address record of node idx.
 func (svc *Service) NodeAddrOf(idx int) NodeAddr { return svc.nodes[idx].addr }
 
@@ -206,9 +235,14 @@ func (svc *Service) RegisterHost(ip netsim.IP, mac netsim.MAC) {
 
 // Start installs the initial rules and spawns the membership procs.
 func (svc *Service) Start() {
+	svc.gen = svc.store.Acquire()
+	for _, v := range svc.views {
+		v.Gen = svc.gen
+	}
 	svc.ctrl = svc.stack.MustBindUDP(svc.cfg.CtrlPort)
 	for _, dp := range svc.topo.AllDatapaths() {
 		dp.SetController(svc)
+		dp.RaiseWriterFence(svc.gen)
 		// All ARP traffic goes to the controller: it is both the ARP
 		// requester (host discovery) and the consumer of replies.
 		arpMatch := openflow.NewMatch()
@@ -359,6 +393,10 @@ func (svc *Service) fail(idx int) {
 		svc.installPartition(v.Partition)
 		svc.announce(v, idx)
 	}
+	// Replicate the status change even when no view mentioned the node
+	// (announce covers the common case but not a no-view demotion).
+	svc.store.WriteStatuses(svc.gen, svc.statusVector())
+	svc.syncStandby(nil)
 }
 
 // removeAddr filters node idx out of a list, returning nil when the
@@ -393,8 +431,17 @@ func (svc *Service) pickHandoff(v *PartitionView) *NodeAddr {
 }
 
 // announce distributes a changed view to its participants (O(R)
-// messages regardless of cluster size) and mirrors it to the standby.
+// messages regardless of cluster size), writes it through to the
+// state store, and mirrors it to the standby. A store rejection means
+// a newer controller generation has taken over: this instance is a
+// fenced zombie and must not propagate the view at all.
 func (svc *Service) announce(v *PartitionView, failed int) {
+	v.Gen = svc.gen
+	if !svc.store.WriteView(svc.gen, v) {
+		svc.stats.FencedWrites++
+		return
+	}
+	svc.store.WriteStatuses(svc.gen, svc.statusVector())
 	svc.syncStandby(v)
 	for _, r := range v.PutParticipants() {
 		if v.Handoff != nil && r.Index == v.Handoff.Index {
@@ -453,7 +500,16 @@ func (svc *Service) handleRejoin(idx int) {
 	n := svc.nodes[idx]
 	switch n.status {
 	case nodeUp:
-		return // duplicate of a request that already completed
+		// Not a duplicate: a node that asks to rejoin while marked up
+		// restarted (and lost its runtime state) inside the detection
+		// window, or a promoted standby inherited a status vector that
+		// missed the Recovering transition. Silently ignoring the
+		// request would strand the node put-visible with its gets held
+		// forever — and anything committed while it was dark would
+		// never be replayed. Demote it like a detected failure, then
+		// run the normal two-phase rejoin below.
+		svc.tracef("%v: node %d rejoin request while marked up; demoting first", svc.s.Now(), idx)
+		svc.fail(idx)
 	case nodeRecovering:
 		n.lastHB = svc.s.Now()
 		info := &RejoinInfo{}
@@ -498,6 +554,11 @@ func (svc *Service) handleRejoin(idx int) {
 		info.Handoffs = append(info.Handoffs, h)
 	}
 	svc.sendToNode(n.addr, info, ctrlMsgSize+len(info.Views)*32)
+	// The Recovering transition may have touched no view ("never left"
+	// rejoins); replicate the status vector anyway so a takeover during
+	// this window still knows the node is mid-rejoin.
+	svc.store.WriteStatuses(svc.gen, svc.statusVector())
+	svc.syncStandby(nil)
 }
 
 // handleConsistent completes phase two of either recovery or ring
@@ -539,6 +600,11 @@ func (svc *Service) handleConsistent(idx int) {
 			svc.sendToNode(*released, &HandoffRelease{Partition: part}, ctrlMsgSize)
 		}
 	}
+	// Status-only completions (no view still listed the node) must
+	// reach the store and the mirror too, or a takeover would re-run a
+	// finished recovery.
+	svc.store.WriteStatuses(svc.gen, svc.statusVector())
+	svc.syncStandby(nil)
 }
 
 // AddReplica permanently grows partition part's replica set with node
@@ -592,6 +658,9 @@ func (svc *Service) installPartition(p int) {
 	}
 	fallbackGid := make(map[*openflow.Datapath]openflow.GroupID)
 	for _, dp := range svc.topo.GroupDatapaths() {
+		if !dp.WriterAllowed(svc.gen) {
+			continue // fenced: a promoted controller owns this switch now
+		}
 		dp.RemoveCookie(fmt.Sprintf("gd-p%d.", p))
 		for k, pe := range svc.topo.MulticastPlan(dp, memberIPs) {
 			if len(pe.Ports) == 0 {
@@ -624,6 +693,9 @@ func (svc *Service) installPartition(p int) {
 	}
 
 	for _, dp := range svc.topo.MappingDatapaths() {
+		if !dp.WriterAllowed(svc.gen) {
+			continue
+		}
 		dp.RemoveCookie(fmt.Sprintf("uni-p%d.", p))
 		dp.RemoveCookie(fmt.Sprintf("mc-p%d.", p))
 
@@ -700,6 +772,9 @@ func (svc *Service) divisions(n int) []netsim.Prefix { return svc.divisionsN(n) 
 func (svc *Service) installPhysRules(ip netsim.IP, mac netsim.MAC) {
 	cookie := "phys-" + ip.String()
 	for _, dp := range svc.topo.AllDatapaths() {
+		if !dp.WriterAllowed(svc.gen) {
+			continue
+		}
 		port, ok := svc.topo.PortToward(dp, ip)
 		if !ok {
 			continue

@@ -4,6 +4,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/openflow"
 	"repro/internal/sim"
+	"repro/internal/switchcache"
 	"repro/internal/transport"
 )
 
@@ -110,6 +111,13 @@ type Standby struct {
 	lastPing sim.Time
 	promoted *Service
 	trace    func(format string, args ...any)
+
+	// cache/cacheCfg, when set, re-attach the in-switch cache manager
+	// to the promoted service at takeover — the switch cache would
+	// otherwise be orphaned with the dead controller (and its zombie's
+	// detector would keep sampling into the void).
+	cache    *switchcache.Cache
+	cacheCfg CacheManagerConfig
 }
 
 // NewStandby builds a standby on its own host. cfg must match the
@@ -138,6 +146,13 @@ func (sb *Standby) tracef(format string, args ...any) {
 // Promoted returns the service running on this standby after takeover,
 // or nil while the primary is alive.
 func (sb *Standby) Promoted() *Service { return sb.promoted }
+
+// EnableCacheOnTakeover registers the in-switch cache the promoted
+// service must adopt (pointing the miss sampler at its own manager).
+func (sb *Standby) EnableCacheOnTakeover(c *switchcache.Cache, cfg CacheManagerConfig) {
+	sb.cache = c
+	sb.cacheCfg = cfg
+}
 
 // Start begins mirroring and watching the active service.
 func (sb *Standby) Start() {
@@ -170,7 +185,7 @@ func (sb *Standby) Start() {
 		for sb.promoted == nil {
 			p.Sleep(sb.cfg.HeartbeatEvery)
 			if s.Now()-sb.lastPing > limit {
-				sb.takeover()
+				sb.takeover(p)
 				return
 			}
 		}
@@ -178,9 +193,12 @@ func (sb *Standby) Start() {
 }
 
 // takeover promotes the standby: it stops mirroring, rebuilds the
-// service from the mirrored state, and redirects the old metadata
-// address to itself in the fabric.
-func (sb *Standby) takeover() {
+// service — from the authoritative replicated state store when one
+// exists, falling back to the best-effort StateSync mirror — and
+// redirects the old metadata address to itself in the fabric. The new
+// service acquires a fresh writer generation in Start, which fences
+// the old primary out of the store and the switches should it return.
+func (sb *Standby) takeover(p *sim.Proc) {
 	sb.tracef("%v: metadata standby taking over for %s", sb.stack.Sim().Now(), sb.active)
 	sb.sock.Close() // free the port for the promoted service
 
@@ -188,15 +206,35 @@ func (sb *Standby) takeover() {
 	cfg.StandbyIP = 0 // no standby-of-standby
 	cfg.CtrlPort = sb.cfg.CtrlPort
 	svc := New(sb.stack, sb.topo, cfg, sb.nodes)
-	views := make([]*PartitionView, 0, len(sb.views))
-	for _, v := range sb.views {
-		views = append(views, v)
+	restored := false
+	if cfg.Store != nil && cfg.Store.Authoritative() {
+		// The chain refuses snapshots mid-repair (a healing chain never
+		// serves a pre-failure view); wait the splice out, bounded.
+		for try := 0; try < 50; try++ {
+			snap, ok := cfg.Store.Snapshot()
+			if ok {
+				svc.RestoreState(snap.Views, snap.Statuses)
+				svc.restoredCache = snap.Cache
+				restored = true
+				break
+			}
+			p.Sleep(sb.cfg.HeartbeatEvery / 4)
+		}
 	}
-	svc.RestoreState(views, sb.statuses)
+	if !restored {
+		views := make([]*PartitionView, 0, len(sb.views))
+		for _, v := range sb.views {
+			views = append(views, v)
+		}
+		svc.RestoreState(views, sb.statuses)
+	}
 	if sb.trace != nil {
 		svc.SetTrace(sb.trace)
 	}
 	svc.Start()
+	if sb.cache != nil {
+		svc.EnableCache(sb.cache, sb.cacheCfg)
+	}
 
 	// Adopt the service identity in the network: packets to the old
 	// metadata address now reach this host. The old primary, if it ever

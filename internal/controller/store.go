@@ -1,0 +1,81 @@
+package controller
+
+// StateStore is the controller's coordination-state backend,
+// decoupling membership/cache policy from where that state lives.
+// Two implementations exist: MemStore keeps it in the controller
+// process (today's behavior — state dies with the process and a hot
+// standby relies on the best-effort StateSync mirror), and ChainStore
+// replicates it across a chain of switch-resident stores
+// (internal/ctrlchain) so a takeover can read the authoritative state
+// sub-RTT from the chain tail.
+//
+// The store also owns split-brain fencing: Acquire hands out
+// monotonically increasing writer generations, and every write
+// carries the caller's generation. Once a promoted standby acquires a
+// newer generation, the old primary's writes return false and the
+// zombie must stop propagating state.
+type StateStore interface {
+	// Acquire returns the next writer generation. Called once per
+	// controller instance at startup.
+	Acquire() uint64
+	// WriteView replicates one partition view. Returns false when gen
+	// is stale (the caller is a fenced zombie).
+	WriteView(gen uint64, v *PartitionView) bool
+	// WriteStatuses replicates the membership status vector.
+	WriteStatuses(gen uint64, statuses []int) bool
+	// WriteCache replicates one switch-cache install (resident=true)
+	// or evict (resident=false) with the installed object version.
+	WriteCache(gen uint64, key string, ver uint64, resident bool) bool
+	// Snapshot reads the authoritative state back. ok is false when
+	// the store has nothing authoritative to offer — MemStore always
+	// (its state died with the process), ChainStore only while a chain
+	// repair is in flight.
+	Snapshot() (StateSnapshot, bool)
+	// Authoritative reports whether Snapshot can ever succeed, so a
+	// takeover knows whether waiting out a transient !ok is worth it.
+	Authoritative() bool
+}
+
+// StateSnapshot is the coordination state a takeover restores.
+type StateSnapshot struct {
+	Views    []*PartitionView
+	Statuses []int
+	Cache    []CacheState
+}
+
+// CacheState is the replicated install/version record for one
+// switch-cached key.
+type CacheState struct {
+	Key      string
+	Ver      uint64
+	Resident bool
+}
+
+// MemStore is the in-process store: writes are generation-checked
+// no-ops (the live Service struct is the state), and Snapshot never
+// succeeds. Sharing one MemStore between an active controller and its
+// standby keeps Acquire monotonic across a takeover, which is what
+// fences the old primary.
+type MemStore struct {
+	gen uint64
+}
+
+// NewMemStore returns an empty in-process store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+func (m *MemStore) Acquire() uint64 {
+	m.gen++
+	return m.gen
+}
+
+func (m *MemStore) WriteView(gen uint64, v *PartitionView) bool { return gen >= m.gen }
+
+func (m *MemStore) WriteStatuses(gen uint64, statuses []int) bool { return gen >= m.gen }
+
+func (m *MemStore) WriteCache(gen uint64, key string, ver uint64, resident bool) bool {
+	return gen >= m.gen
+}
+
+func (m *MemStore) Snapshot() (StateSnapshot, bool) { return StateSnapshot{}, false }
+
+func (m *MemStore) Authoritative() bool { return false }

@@ -29,6 +29,14 @@ type NodeAddr struct {
 type PartitionView struct {
 	Partition int
 	Epoch     uint64
+	// Gen is the writer generation of the controller instance that
+	// produced the view (StateStore.Acquire). Nodes order views by
+	// (Gen, Epoch) lexicographically: a promoted standby's views
+	// supersede the old primary's regardless of epoch, and a zombie's
+	// announcements — fenced at the switches — are also rejected by
+	// every node that has seen the newer generation. Zero on views from
+	// pre-fencing controllers, which compare by epoch alone.
+	Gen uint64
 	// Replicas are the nodes currently serving the partition, primary
 	// first. While a failure is being covered this includes the handoff
 	// node and excludes the failed one.

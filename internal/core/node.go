@@ -286,7 +286,11 @@ func (n *Node) ctrlLoop(p *sim.Proc) {
 // subscriptions and detecting promotion to primary.
 func (n *Node) applyView(v *controller.PartitionView, asHandoff bool) {
 	old := n.views[v.Partition]
-	if old != nil && old.Epoch >= v.Epoch {
+	// Views order by (writer generation, epoch): a promoted standby's
+	// views (higher Gen) supersede the old primary's regardless of
+	// epoch, and a fenced zombie's announcements (lower Gen) are
+	// rejected no matter how far its private epochs ran ahead.
+	if old != nil && (v.Gen < old.Gen || (v.Gen == old.Gen && old.Epoch >= v.Epoch)) {
 		return
 	}
 	me := n.cfg.Addr.Index
@@ -598,6 +602,14 @@ func (n *Node) Crash() {
 	n.stack.Host().SetDown(true)
 	n.store.CrashStorage()
 }
+
+// Recovering reports whether the node is still get-invisible
+// (mid-rejoin); tests assert a takeover never strands a rejoiner here.
+func (n *Node) Recovering() bool { return n.recovering }
+
+// View returns the node's installed view of partition part (nil when it
+// holds none); tests assert a fenced zombie controller never moves it.
+func (n *Node) View(part int) *controller.PartitionView { return n.views[part] }
 
 // Restart brings a crashed node back: memory state is reset and the node
 // rejoins through the two-phase §4.4 procedure, fetching missed objects

@@ -18,6 +18,11 @@
 //   - slowdisk   gray disk: latency multiplied / throughput divided
 //   - ctrl       control-channel fault: extra delay on every exchange
 //     plus a drop rate on packet-carrying messages
+//   - ctrlcrash  active metadata controller fail-stop; the revert
+//     brings the host back as a zombie if a standby promoted meanwhile
+//   - chainkill  one replica of the control-plane state chain
+//     (internal/ctrlchain) fail-stops; the revert revives it and the
+//     chain re-splices it in at the tail
 package faultinject
 
 import (
@@ -40,6 +45,8 @@ const (
 	SlowNIC
 	SlowDisk
 	CtrlFault
+	CtrlCrash
+	ChainKill
 	numKinds
 )
 
@@ -52,6 +59,8 @@ var kindNames = [numKinds]string{
 	SlowNIC:    "slownic",
 	SlowDisk:   "slowdisk",
 	CtrlFault:  "ctrl",
+	CtrlCrash:  "ctrlcrash",
+	ChainKill:  "chainkill",
 }
 
 // String returns the kind's schedule-format name.
@@ -68,7 +77,9 @@ type Event struct {
 	Kind Kind
 	At   sim.Time
 	For  sim.Time
-	// Node is the target (every kind but Partition and CtrlFault).
+	// Node is the target: a storage node for most kinds, a chain
+	// replica index for ChainKill, unused for Partition, CtrlFault and
+	// CtrlCrash.
 	Node int
 	// Nodes are the Partition targets.
 	Nodes []int
@@ -108,6 +119,14 @@ type Fabric interface {
 	// SetCtrlFault injects control-channel trouble fabric-wide; zero both
 	// to restore health.
 	SetCtrlFault(extra sim.Time, drop float64)
+	// CrashCtrl fail-stops the active metadata controller; RestartCtrl
+	// brings the host back — a fenced zombie if a standby promoted in
+	// the meantime.
+	CrashCtrl()
+	RestartCtrl()
+	// SetChainDown fail-stops (or revives) one replica of the
+	// control-plane state chain; a no-op on deployments without one.
+	SetChainDown(idx int, down bool)
 }
 
 // Install schedules every event of sched on s, relative to s.Now().
@@ -166,6 +185,14 @@ func apply(f Fabric, e Event, start bool) {
 		} else {
 			f.SetCtrlFault(0, 0)
 		}
+	case CtrlCrash:
+		if start {
+			f.CrashCtrl()
+		} else {
+			f.RestartCtrl()
+		}
+	case ChainKill:
+		f.SetChainDown(e.Node, start)
 	}
 }
 
@@ -188,6 +215,10 @@ type GenConfig struct {
 	// must exceed the failure detector's declaration time, or the cluster
 	// heals the fault before ever noticing it.
 	MinOutage, MaxOutage sim.Time
+	// ChainNodes is the control-chain replica count; ChainKill events
+	// draw their target from [0, ChainNodes) and are never generated
+	// when it is zero.
+	ChainNodes int
 	// Weights overrides the per-kind generation bias (index by Kind; must
 	// cover every kind). Nil keeps the default bias. A zero weight
 	// disables a kind; sweeps that stress one subsystem (e.g. crash
@@ -218,6 +249,12 @@ var kindWeights = [numKinds]int{
 	SlowNIC:    10,
 	SlowDisk:   10,
 	CtrlFault:  10,
+	// The controller-fault kinds default to zero so every schedule
+	// generated before they existed stays byte-identical (a weight-0
+	// kind is never selected and consumes no randomness); the ctrlchain
+	// chaos cell and the -chaos-ctrl knob opt in explicitly.
+	CtrlCrash: 0,
+	ChainKill: 0,
 }
 
 // DefaultWeights returns a copy of the default generation bias, indexed
@@ -253,6 +290,8 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 	hi := cfg.Horizon * 7 / 10
 	busy := make([]sim.Time, cfg.Nodes) // per-node fault serialization
 	var ctrlBusy sim.Time
+	var ctrlCrashBusy sim.Time
+	var chainBusy sim.Time
 	type span struct{ from, to sim.Time }
 	var outages []span
 
@@ -309,7 +348,11 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		}
 		at := randTime(lo, hi)
 		var dur sim.Time
-		isOutage := kind == NodeCrash || kind == LinkDown || kind == Partition
+		// Controller and chain kills use outage-length windows too: the
+		// window must outlast the standby watchdog (or the chain's probe
+		// detector) or the fault heals before anyone notices.
+		isOutage := kind == NodeCrash || kind == LinkDown || kind == Partition ||
+			kind == CtrlCrash || kind == ChainKill
 		if isOutage {
 			dur = randTime(cfg.MinOutage, cfg.MaxOutage)
 		} else {
@@ -319,6 +362,20 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 
 		e := Event{Kind: kind, At: at, For: dur}
 		switch kind {
+		case CtrlCrash:
+			// Serialized with itself; does not count toward data-node
+			// outage budgets (the data plane keeps serving without a
+			// controller).
+			if ctrlCrashBusy > at {
+				continue
+			}
+			ctrlCrashBusy = end + cfg.Horizon/20
+		case ChainKill:
+			if cfg.ChainNodes <= 0 || chainBusy > at {
+				continue
+			}
+			e.Node = rng.Intn(cfg.ChainNodes)
+			chainBusy = end + cfg.Horizon/20
 		case CtrlFault:
 			if ctrlBusy > at {
 				continue

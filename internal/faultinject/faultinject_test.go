@@ -113,6 +113,121 @@ func TestScheduleStringRoundTrip(t *testing.T) {
 	}
 }
 
+// Satellite: controller-fault schedules round-trip the repro format.
+// ctrlcrash has no operand (there is one active controller); chainkill
+// targets a chain replica index through the generic node field.
+func TestCtrlFaultScheduleRoundTrip(t *testing.T) {
+	cases := []struct {
+		text  string
+		event Event
+	}{
+		{
+			text: "seed=3 | ctrlcrash @120ms +80ms",
+			event: Event{Kind: CtrlCrash,
+				At: sim.Time(120 * time.Millisecond), For: sim.Time(80 * time.Millisecond)},
+		},
+		{
+			text: "seed=3 | chainkill n1 @300ms +90ms",
+			event: Event{Kind: ChainKill, Node: 1,
+				At: sim.Time(300 * time.Millisecond), For: sim.Time(90 * time.Millisecond)},
+		},
+		{
+			text: "seed=3 | chainkill n2 @80ms +100ms",
+			event: Event{Kind: ChainKill, Node: 2,
+				At: sim.Time(80 * time.Millisecond), For: sim.Time(100 * time.Millisecond)},
+		},
+	}
+	for _, tc := range cases {
+		parsed, err := ParseSchedule(tc.text)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", tc.text, err)
+		}
+		want := Schedule{Seed: 3, Events: []Event{tc.event}}
+		if !reflect.DeepEqual(parsed, want) {
+			t.Fatalf("parse %q = %#v, want %#v", tc.text, parsed, want)
+		}
+		if got := parsed.String(); got != tc.text {
+			t.Fatalf("String() = %q, want %q", got, tc.text)
+		}
+	}
+	// Mixed with legacy kinds in one line.
+	mixed := "seed=9 | ctrlcrash @100ms +80ms | crash n2 @200ms +80ms | chainkill n0 @400ms +100ms"
+	parsed, err := ParseSchedule(mixed)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", mixed, err)
+	}
+	if got := parsed.String(); got != mixed {
+		t.Fatalf("mixed round trip = %q, want %q", got, mixed)
+	}
+}
+
+// Generated controller-fault schedules obey the same serialization and
+// round-trip guarantees as the legacy kinds.
+func TestGenerateCtrlFaults(t *testing.T) {
+	cfg := genCfg()
+	cfg.ChainNodes = 3
+	cfg.Weights = DefaultWeights()
+	cfg.Weights[CtrlCrash] = 40
+	cfg.Weights[ChainKill] = 40
+	sawCrash, sawChain := false, false
+	for seed := int64(1); seed <= 30; seed++ {
+		sched := Generate(seed, cfg)
+		var crashes, chains []Event
+		for _, e := range sched.Events {
+			switch e.Kind {
+			case CtrlCrash:
+				sawCrash = true
+				crashes = append(crashes, e)
+			case ChainKill:
+				sawChain = true
+				chains = append(chains, e)
+				if e.Node < 0 || e.Node >= cfg.ChainNodes {
+					t.Fatalf("seed %d: chainkill target %d outside [0,%d)", seed, e.Node, cfg.ChainNodes)
+				}
+			}
+			if (e.Kind == CtrlCrash || e.Kind == ChainKill) &&
+				(e.For < cfg.MinOutage || e.For > cfg.MaxOutage) {
+				t.Fatalf("seed %d: %s window outside outage bounds", seed, e)
+			}
+		}
+		for _, set := range [][]Event{crashes, chains} {
+			for i, a := range set {
+				for _, b := range set[i+1:] {
+					if a.At < b.At+b.For && b.At < a.At+a.For {
+						t.Fatalf("seed %d: overlapping controller faults", seed)
+					}
+				}
+			}
+		}
+		back, err := ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(sched, back) {
+			t.Fatalf("seed %d: round trip diverged:\n%s", seed, sched)
+		}
+	}
+	if !sawCrash || !sawChain {
+		t.Fatalf("30 seeds generated no controller faults (crash=%v chain=%v)", sawCrash, sawChain)
+	}
+}
+
+// The new kinds default to weight zero: schedules generated with the
+// default bias never contain them, so longstanding cell seeds keep
+// their exact schedules.
+func TestDefaultWeightsExcludeCtrlFaults(t *testing.T) {
+	if w := DefaultWeights(); w[CtrlCrash] != 0 || w[ChainKill] != 0 {
+		t.Fatalf("controller-fault kinds must default to weight 0, got %v", w)
+	}
+	for seed := int64(1); seed <= 50; seed++ {
+		for _, e := range Generate(seed, genCfg()).Events {
+			if e.Kind == CtrlCrash || e.Kind == ChainKill {
+				t.Fatalf("seed %d: default weights generated %s", seed, e)
+			}
+		}
+	}
+}
+
 func TestParseScheduleRejectsGarbage(t *testing.T) {
 	for _, text := range []string{
 		"crash n0 @1ms +1ms",             // missing seed header
@@ -145,6 +260,9 @@ func (f *recFabric) SetLinkDelayFactor(n int, x float64) { f.rec("delay %d %v", 
 func (f *recFabric) SetNICFactor(n int, x float64)       { f.rec("nic %d %v", n, x) }
 func (f *recFabric) SetDiskFactor(n int, x float64)      { f.rec("disk %d %v", n, x) }
 func (f *recFabric) SetCtrlFault(d sim.Time, r float64)  { f.rec("ctrl %v %v", d, r) }
+func (f *recFabric) CrashCtrl()                          { f.rec("ctrlcrash") }
+func (f *recFabric) RestartCtrl()                        { f.rec("ctrlrestart") }
+func (f *recFabric) SetChainDown(i int, down bool)       { f.rec("chain %d %v", i, down) }
 
 func TestInstallAppliesAndReverts(t *testing.T) {
 	s := sim.New(1)

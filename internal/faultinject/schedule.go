@@ -43,6 +43,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " n%s", strings.Join(parts, ","))
 	case CtrlFault:
 		fmt.Fprintf(&b, " d=%s r=%s", time.Duration(e.Delay), fmtFloat(e.Rate))
+	case CtrlCrash:
+		// No operand: there is exactly one active controller to kill.
 	default:
 		fmt.Fprintf(&b, " n%d", e.Node)
 	}

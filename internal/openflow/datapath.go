@@ -31,6 +31,7 @@ type ControlStats struct {
 	FlowMods   int64
 	GroupMods  int64
 	CtrlDrops  int64 // PacketIns/PacketOuts lost to an injected control fault
+	FencedMods int64 // mutations rejected for a stale controller writer generation
 }
 
 // Datapath attaches OpenFlow forwarding to a netsim switch: a flow table,
@@ -56,6 +57,13 @@ type Datapath struct {
 	ctrlExtra   sim.Time
 	ctrlDrop    float64
 	lastDeliver sim.Time
+
+	// writerFence is the lowest controller writer generation this
+	// datapath still accepts mutations from. A promoted standby raises
+	// it past the old primary's generation at takeover, so a zombie
+	// controller returning after a split brain cannot clobber the
+	// fabric. Zero means unfenced (the legacy single-writer world).
+	writerFence uint64
 }
 
 // Attach builds a datapath on sw and installs it as the switch pipeline.
@@ -97,6 +105,30 @@ func (dp *Datapath) SetController(h ControllerHandler) { dp.handler = h }
 func (dp *Datapath) SetControlFault(extraDelay sim.Time, dropRate float64) {
 	dp.ctrlExtra = extraDelay
 	dp.ctrlDrop = dropRate
+}
+
+// RaiseWriterFence raises the control-plane writer fence: after a
+// controller acquires generation gen and calls this, flow/group/cache
+// mutations stamped with any older generation are rejected. The fence
+// is monotonic — a zombie cannot lower it.
+func (dp *Datapath) RaiseWriterFence(gen uint64) {
+	if gen > dp.writerFence {
+		dp.writerFence = gen
+	}
+}
+
+// WriterFence returns the current fence generation (0 = unfenced).
+func (dp *Datapath) WriterFence() uint64 { return dp.writerFence }
+
+// WriterAllowed reports whether writer generation gen may still mutate
+// this datapath, counting rejections. Generation 0 is the legacy
+// unfenced writer and is always allowed.
+func (dp *Datapath) WriterAllowed(gen uint64) bool {
+	if gen != 0 && gen < dp.writerFence {
+		dp.stats.FencedMods++
+		return false
+	}
+	return true
 }
 
 // ctrlSched schedules fn one control-channel traversal from now,

@@ -218,7 +218,21 @@ func (c *Cache) Process(sw *netsim.Switch, pkt *netsim.Packet, inPort int) {
 // fetched version already superseded by a write-through (the fetch raced
 // a commit).
 func (c *Cache) Install(key string, value any, size int, ver uint64) {
+	c.InstallAs(0, key, value, size, ver)
+}
+
+// InstallAs is Install carrying the issuing controller's writer
+// generation: the fence is checked when the command *applies* (after
+// the control delay), so an install that was already in flight when a
+// standby took over and raised the switch writer fence is rejected at
+// the datapath — the "controller killed mid-cache-install" case.
+// Generation 0 is the legacy unfenced writer.
+func (c *Cache) InstallAs(gen uint64, key string, value any, size int, ver uint64) {
 	c.dp.Switch().Sim().After(c.ctrlDelay(), func() {
+		if !c.dp.WriterAllowed(gen) {
+			c.stats.Rejected++
+			return
+		}
 		if size > c.cfg.MaxValueSize && c.cfg.MaxValueSize > 0 {
 			c.stats.Rejected++
 			return
@@ -252,7 +266,15 @@ func (c *Cache) ctrlDelay() sim.Time { return c.cfg.CtrlDelay + c.extraCtrl }
 // Evict is the controller's entry removal, applied after the control
 // delay.
 func (c *Cache) Evict(key string) {
+	c.EvictAs(0, key)
+}
+
+// EvictAs is Evict with the writer-generation fence of InstallAs.
+func (c *Cache) EvictAs(gen uint64, key string) {
 	c.dp.Switch().Sim().After(c.ctrlDelay(), func() {
+		if !c.dp.WriterAllowed(gen) {
+			return
+		}
 		if _, ok := c.entries[key]; ok {
 			delete(c.entries, key)
 			c.stats.Evictions++
