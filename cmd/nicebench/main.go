@@ -95,6 +95,7 @@ func main() {
 		ctrlOut  = flag.String("ctrl-out", "BENCH_ctrl.json", "write ctrlsweep failover results here (empty: skip)")
 		trafOut  = flag.String("traffic-out", "BENCH_traffic.json", "write heavytraffic sweep results here (empty: skip)")
 		storOut  = flag.String("storage-out", "BENCH_storage.json", "write storagesweep results here (empty: skip)")
+		rsOut    = flag.String("readscale-out", "BENCH_readscale.json", "write readscale sweep results here (empty: skip)")
 		storHeav = flag.Int("storage-heavy-clients", 100_000, "virtual-client fleet size for the storagesweep heavytraffic arm")
 		trafSize = flag.String("traffic-sizes", "", "comma-separated virtual-client fleet sizes for -experiment heavytraffic (default 10000,100000,1000000)")
 		kernBase = flag.String("kernel-baseline", "", "compare kernel benchmarks against this JSON baseline; exit non-zero on >2x SleepWake/EventChurn regression")
@@ -145,7 +146,7 @@ func main() {
 	// "all" covers the paper's figures and tables; the extended
 	// experiments (ycsb-all, scale-out, fabric) and the kernel
 	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true, "ctrlsweep": true}
+	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true, "ctrlsweep": true, "readscale": true}
 	want := func(name string) bool {
 		if *exp == name {
 			return true
@@ -426,6 +427,42 @@ func main() {
 		}
 		ran++
 	}
+	if want("readscale") {
+		t0 := time.Now()
+		rep, err := cluster.ReadScaleSweep(pr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("readscale: get scaling vs replication factor (%d nodes, %d clients, %d keys on one partition)\n",
+			rep.Nodes, rep.Clients, rep.Keys)
+		fmt.Printf("%-18s %3s %7s %10s %9s %9s %9s %9s %9s\n",
+			"system", "R", "putfrac", "gets/s", "p99us", "local", "replica", "routed", "fallback")
+		for _, c := range rep.Cells {
+			fmt.Printf("%-18s %3d %6.0f%% %10.0f %9.1f %9d %9d %9d %9d\n",
+				c.System, c.R, 100*c.PutFrac, c.GetTput, c.GetP99Micros,
+				c.ServedLocal, c.ServedReplica, c.Routed, c.Fallbacks)
+		}
+		for _, sys := range []string{"NICEKV", "NICEKV+quorum", "NICEKV+LB", "NICEKV+harmonia"} {
+			if v, ok := rep.SpeedupAtMaxR[sys]; ok {
+				fmt.Printf("read-only speedup at R=%d: %-18s %.2fx\n",
+					rep.Replicas[len(rep.Replicas)-1], sys, v)
+			}
+		}
+		cluster.ReadScaleFigure(rep).Fprint(os.Stdout)
+		fmt.Printf("-- readscale: %.2fs wall\n\n", time.Since(t0).Seconds())
+		if *rsOut != "" {
+			report := struct {
+				Env  benchEnv `json:"env"`
+				Seed int64    `json:"seed"`
+				*cluster.ReadScaleReport
+			}{env(), *seed, rep}
+			if err := writeJSON(*rsOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *rsOut)
+		}
+		ran++
+	}
 	if want("fabric") {
 		fig, err := cluster.FabricComparison(pr)
 		if err != nil {
@@ -472,7 +509,7 @@ func main() {
 
 	if ran == 0 {
 		stopProfiles()
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep ctrlsweep)\n",
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep ctrlsweep readscale)\n",
 			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
 		os.Exit(2)
 	}

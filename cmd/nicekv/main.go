@@ -7,6 +7,7 @@
 //
 //	nicekv -nodes 15 -r 3 -ops 1000 -size 1024 -putratio 0.2 -lb
 //	nicekv -cache        # serve hot keys from the switch (in-switch cache)
+//	nicekv -harmonia     # spread clean-key reads over all replicas (in-network conflict detection)
 //	nicekv -fail 2       # crash node 2 mid-run and watch recovery
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		putRatio = flag.Float64("putratio", 0.2, "fraction of operations that are puts")
 		lb       = flag.Bool("lb", false, "enable in-network get load balancing")
 		cache    = flag.Bool("cache", false, "enable the in-switch hot-key cache")
+		harmonia = flag.Bool("harmonia", false, "enable in-network conflict detection (reads of clean keys spread over all replicas)")
 		durable  = flag.Bool("durable", false, "enable the durable storage engine (WAL + snapshots + eviction)")
 		budget   = flag.Int64("mem-budget", 0, "per-node memory budget in bytes for -durable (0 = unbounded)")
 		failNode = flag.Int("fail", -1, "crash this node mid-run (and restart it later)")
@@ -47,6 +49,7 @@ func main() {
 	opts.Clients = *clients
 	opts.LoadBalance = *lb
 	opts.Cache = *cache
+	opts.Harmonia = *harmonia
 	opts.DurableStore = *durable
 	opts.StoreMemoryBudget = *budget
 	opts.Seed = *seed
@@ -115,7 +118,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\ncluster: %d nodes, R=%d, %d clients, lb=%v, cache=%v\n", *nodes, *r, *clients, *lb, *cache)
+	fmt.Printf("\ncluster: %d nodes, R=%d, %d clients, lb=%v, cache=%v, harmonia=%v\n", *nodes, *r, *clients, *lb, *cache, *harmonia)
 	fmt.Printf("simulated time: %v\n", d.Sim.Now())
 	pr := func(name string, h *metrics.Histogram, fails int) {
 		if h.N() == 0 {
@@ -128,6 +131,16 @@ func main() {
 	pr("get", &getLat, getFail)
 	if d.Cache != nil {
 		fmt.Printf("cache: %s\n", d.Cache.Stats())
+	}
+	if d.Harmonia != nil {
+		var local, replica int64
+		for _, n := range d.Nodes {
+			ns := n.Stats()
+			local += ns.GetsServedLocal
+			replica += ns.GetsServedAsReplica
+		}
+		fmt.Printf("harmonia: %s\n", d.Harmonia.Stats())
+		fmt.Printf("harmonia: gets served by primary=%d by other replicas=%d\n", local, replica)
 	}
 	if *durable {
 		fmt.Printf("storage: %s\n", d.StorageCounters())

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/checker"
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/kvstore"
 	"repro/internal/sim"
@@ -119,6 +120,17 @@ func chaosSystems() []chaosSystem {
 			o.CacheSampleEvery = 1
 			o.CacheDecayEvery = 200 * time.Millisecond
 		}, weights: ctrlWeights(), chainNodes: 3},
+		// The harmonia cell routes reads through the in-switch dirty set
+		// under the mode's most adversarial write protocol: any-k quorum
+		// puts, where an acknowledged commit can leave laggard replicas
+		// behind — exactly the copies a clean-key rewrite must never read
+		// stale from. Outages capped at one for the same any-k durability
+		// reason as the quorum cell. Appended last: cell seeds derive from
+		// sweep position (see the durable cell's note).
+		{name: "NICEKV+harmonia", tune: func(o *Options) {
+			o.Harmonia = true
+			o.QuorumK = 2
+		}, maxOutages: 1},
 	}
 }
 
@@ -252,6 +264,9 @@ func (f *niceFabric) SetCtrlFault(extra sim.Time, drop float64) {
 	if f.d.Cache != nil {
 		f.d.Cache.SetExtraCtrlDelay(extra)
 	}
+	if f.d.Harmonia != nil {
+		f.d.Harmonia.SetExtraCtrlDelay(extra)
+	}
 }
 
 // CrashCtrl fail-stops the active metadata host: heartbeats, standby
@@ -299,6 +314,13 @@ type ChaosCell struct {
 	// systems: a replay must fence the exact same writes.
 	Takeovers int64
 	Fenced    int64
+	// Harmonia read-routing telemetry (zero for systems without the
+	// dirty-set stage); all four join the determinism recheck — a replay
+	// must make the identical routing decision for every read.
+	HarmoniaRouted      int64 // clean reads rewritten at the switch
+	HarmoniaReplicaGets int64 // reads the nodes answered as non-primaries
+	HarmoniaFallbacks   int64 // reads punted to the primary (dirty key or taint)
+	HarmoniaFlushes     int64 // dirty entries stickied by view-change installs
 }
 
 // Repro is the one-line reproduction command for this cell.
@@ -320,6 +342,11 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 		d = NewNICE(opts)
 	}
 	defer d.Close()
+	if core.Debug {
+		d.Service.SetTrace(func(format string, args ...any) {
+			fmt.Printf("CTRL "+format+"\n", args...)
+		})
+	}
 	if err := d.Settle(); err != nil {
 		return cell, err
 	}
@@ -425,6 +452,15 @@ func runChaosCell(sys chaosSystem, sched faultinject.Schedule) (ChaosCell, error
 		}
 		cell.Violations = append(cell.Violations, hist.CheckDurability(final)...)
 	}
+	if d.Harmonia != nil {
+		hs := d.Harmonia.Stats()
+		cell.HarmoniaRouted = hs.Routed
+		cell.HarmoniaFallbacks = hs.DirtyFallbacks + hs.TaintFallbacks
+		cell.HarmoniaFlushes = hs.Flushes
+		for _, n := range d.Nodes {
+			cell.HarmoniaReplicaGets += n.Stats().GetsServedAsReplica
+		}
+	}
 	if opts.Standby {
 		cell.Fenced = d.Service.Stats().FencedWrites + d.Core.Stats().FencedMods
 		if d.Chain != nil {
@@ -488,6 +524,7 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 		ops, failed, faults, bad := 0, 0, 0, 0
 		traffic, recov, replayed := int64(0), int64(0), int64(0)
 		takeovers, fenced := int64(0), int64(0)
+		routed, replicaGets, fallbacks, flushes := int64(0), int64(0), int64(0), int64(0)
 		for i := si * r.Schedules; i < (si+1)*r.Schedules; i++ {
 			c := &r.Cells[i]
 			ops += c.Ops
@@ -499,6 +536,10 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 			replayed += c.Replayed
 			takeovers += c.Takeovers
 			fenced += c.Fenced
+			routed += c.HarmoniaRouted
+			replicaGets += c.HarmoniaReplicaGets
+			fallbacks += c.HarmoniaFallbacks
+			flushes += c.HarmoniaFlushes
 		}
 		fmt.Fprintf(w, "%-20s ops=%-6d failed=%-5d faults=%-4d violations=%d",
 			name, ops, failed, faults, bad)
@@ -510,6 +551,10 @@ func (r *ChaosReport) Fprint(w io.Writer) {
 		}
 		if takeovers > 0 {
 			fmt.Fprintf(w, " takeovers=%d fenced=%d", takeovers, fenced)
+		}
+		if routed > 0 || fallbacks > 0 {
+			fmt.Fprintf(w, " routed=%d replica-gets=%d fallbacks=%d flushes=%d",
+				routed, replicaGets, fallbacks, flushes)
 		}
 		fmt.Fprintln(w)
 	}
@@ -560,13 +605,21 @@ func RunChaos(pr Params, schedules int, ctrlBias float64) (*ChaosReport, error) 
 		}
 		if again.Hash != first.Hash || again.TrafficOps != first.TrafficOps ||
 			again.Recoveries != first.Recoveries || again.Replayed != first.Replayed ||
-			again.Takeovers != first.Takeovers || again.Fenced != first.Fenced {
+			again.Takeovers != first.Takeovers || again.Fenced != first.Fenced ||
+			again.HarmoniaRouted != first.HarmoniaRouted ||
+			again.HarmoniaReplicaGets != first.HarmoniaReplicaGets ||
+			again.HarmoniaFallbacks != first.HarmoniaFallbacks ||
+			again.HarmoniaFlushes != first.HarmoniaFlushes {
 			rep.DeterminismOK = false
 			rep.Mismatches = append(rep.Mismatches,
-				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d, recoveries %d vs %d, replayed %d vs %d, takeovers %d vs %d, fenced %d vs %d (%s)",
+				fmt.Sprintf("%s: hash %x vs replay %x, traffic %d vs %d, recoveries %d vs %d, replayed %d vs %d, takeovers %d vs %d, fenced %d vs %d, routed %d vs %d, replica-gets %d vs %d, fallbacks %d vs %d, flushes %d vs %d (%s)",
 					sys.name, first.Hash, again.Hash, first.TrafficOps, again.TrafficOps,
 					first.Recoveries, again.Recoveries, first.Replayed, again.Replayed,
-					first.Takeovers, again.Takeovers, first.Fenced, again.Fenced, first.Repro()))
+					first.Takeovers, again.Takeovers, first.Fenced, again.Fenced,
+					first.HarmoniaRouted, again.HarmoniaRouted,
+					first.HarmoniaReplicaGets, again.HarmoniaReplicaGets,
+					first.HarmoniaFallbacks, again.HarmoniaFallbacks,
+					first.HarmoniaFlushes, again.HarmoniaFlushes, first.Repro()))
 		}
 	}
 	return rep, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/ctrlchain"
+	"repro/internal/harmonia"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
@@ -25,6 +26,10 @@ const (
 	DataPort = 7000
 	CtrlPort = 9001
 	MetaPort = 9000
+	// ReplicaPort carries harmonia replica-routed reads: the dirty-set
+	// stage rewrites clean gets to a replica's physical IP and this port,
+	// and nodes serve non-primary reads only from it.
+	ReplicaPort = 7001
 )
 
 // Options describes a deployment, defaulting to the paper's platform
@@ -81,6 +86,18 @@ type Options struct {
 	CacheDecayEvery sim.Time
 	// CacheUpdateOnPut selects write-update over write-invalidate.
 	CacheUpdateOnPut bool
+	// Harmonia enables in-network conflict detection (internal/harmonia)
+	// on the core datapath: the switch tracks the dirty set of in-flight
+	// writes and spreads reads of clean keys across every live replica of
+	// the key's partition, falling back to the primary for dirty keys.
+	// Composes with any write mode (2PC, any-k quorum) and with Cache;
+	// off, every switch-side and node-side code path is bit-identical to
+	// prior releases.
+	Harmonia bool
+	// HarmoniaCapacity bounds the switch dirty table (0 = harmonia
+	// default). Overflow taints the affected partition — reads fall back
+	// to the primary — until the next view install.
+	HarmoniaCapacity int
 	// TrafficGateways attaches one open-loop traffic gateway host per
 	// leaf (NewNICELeafSpine only); see internal/cluster/traffic.go.
 	TrafficGateways bool
@@ -186,6 +203,7 @@ type NICE struct {
 	Gateways []Gateway                // traffic gateways (leaf-spine only)
 	Cache    *switchcache.Cache       // nil unless Opts.Cache
 	CacheMgr *controller.CacheManager // nil unless Opts.Cache
+	Harmonia *harmonia.DirtySet       // nil unless Opts.Harmonia
 	Chain    *ctrlchain.Chain         // nil unless Opts.CtrlChain
 	// NodeLinks[i] is storage node i's access link (fault injection cuts
 	// and degrades these); ClientLinks likewise for clients (nil entries
@@ -342,6 +360,27 @@ func NewNICE(opts Options) *NICE {
 		}
 	}
 
+	// Harmonia dirty-set stage on the core datapath, behind the cache
+	// when both are enabled (switch → cache → dirty set → flow tables):
+	// a cache hit never reaches the stage, a miss is spread across the
+	// key's replicas like any other clean read.
+	if opts.Harmonia {
+		hcfg := harmonia.DefaultConfig(opts.CtrlDelay)
+		hcfg.ReplicaPort = ReplicaPort
+		if opts.HarmoniaCapacity > 0 {
+			hcfg.Capacity = opts.HarmoniaCapacity
+		}
+		d.Harmonia = harmonia.Attach(d.Core, core.HarmoniaCodec{DataPort: DataPort}, d.Space.PartitionOf, hcfg)
+		if d.Cache != nil {
+			d.Core.Switch().SetPipeline(d.Cache) // cache stays at the head
+			d.Cache.SetNext(d.Harmonia)
+		}
+		d.Service.EnableHarmonia(d.Harmonia)
+		if d.Standby != nil {
+			d.Standby.EnableHarmoniaOnTakeover(d.Harmonia)
+		}
+	}
+
 	// Storage nodes.
 	for i := 0; i < opts.Nodes; i++ {
 		ncfg := core.DefaultNodeConfig()
@@ -360,6 +399,11 @@ func NewNICE(opts Options) *NICE {
 		if d.Cache != nil && !probeDropInvalidate {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut
+		}
+		if d.Harmonia != nil {
+			ncfg.Harmonia = d.Harmonia
+			ncfg.HarmoniaServe = true
+			ncfg.ReplicaPort = ReplicaPort
 		}
 		node := core.NewNode(d.Stacks[i], ncfg)
 		node.Start()

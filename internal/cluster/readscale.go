@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The readscale experiment measures how aggregate get throughput scales
+// with the replication factor when the working set is concentrated on a
+// single partition — the regime where a primary-reads design is bound by
+// one server's CPU no matter how many replicas hold the data.
+//
+//   - NICEKV           2PC writes, primary reads: the flat baseline.
+//   - NICEKV+quorum    any-k writes, primary reads: faster writes, same
+//                      read bottleneck.
+//   - NICEKV+LB        the paper's switch load balancing: reads spread by
+//                      client source division, no write-conflict tracking.
+//   - NICEKV+harmonia  in-network conflict detection: clean-key reads
+//                      spread over every live replica, dirty keys pinned
+//                      to the primary (internal/harmonia).
+//
+// The sweep crosses replication factor x write ratio x system. Near-
+// linear scaling means the R=8 read-only harmonia cell approaches 8x the
+// primary-reads baseline; the write-ratio rows show the scaling erode as
+// dirty-key fallbacks and replica write work grow.
+
+// readScaleSystems is the experiment's system axis.
+var readScaleSystems = []string{"NICEKV", "NICEKV+quorum", "NICEKV+LB", "NICEKV+harmonia"}
+
+// ReadScaleReplicas is the replication-factor axis.
+var ReadScaleReplicas = []int{1, 2, 4, 8}
+
+// ReadScalePutFracs is the write-ratio axis.
+var ReadScalePutFracs = []float64{0, 0.05, 0.20}
+
+const (
+	readScaleNodes   = 10 // fixed fabric: only R varies
+	readScaleClients = 32 // enough closed-loop demand to saturate 8 replicas
+	readScaleKeys    = 16 // working set, all on one partition
+)
+
+// ReadScaleCell is one (system, R, putFrac) measurement.
+type ReadScaleCell struct {
+	System        string  `json:"system"`
+	R             int     `json:"r"`
+	PutFrac       float64 `json:"put_frac"`
+	GetTput       float64 `json:"gets_per_sec"`
+	GetP99Micros  float64 `json:"get_p99_us"`
+	ServedLocal   int64   `json:"served_local"`   // gets answered by partition primaries
+	ServedReplica int64   `json:"served_replica"` // gets answered by non-primary replicas
+	Routed        int64   `json:"harmonia_routed"`
+	Fallbacks     int64   `json:"harmonia_fallbacks"`
+}
+
+// ReadScaleReport is the full sweep result.
+type ReadScaleReport struct {
+	Nodes    int             `json:"nodes"`
+	Clients  int             `json:"clients"`
+	Keys     int             `json:"keys"`
+	Replicas []int           `json:"replicas"`
+	PutFracs []float64       `json:"put_fracs"`
+	Cells    []ReadScaleCell `json:"cells"`
+	// SpeedupAtMaxR is each system's read-only throughput at the largest
+	// replication factor, relative to the NICEKV baseline in the same row.
+	SpeedupAtMaxR map[string]float64 `json:"speedup_at_max_r"`
+}
+
+// readScaleOpts builds one arm's deployment options.
+func readScaleOpts(system string, seed int64, r int) Options {
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Nodes = readScaleNodes
+	opts.R = r
+	opts.Clients = readScaleClients
+	switch system {
+	case "NICEKV+quorum":
+		if r > 1 {
+			opts.QuorumK = (r / 2) + 1
+		}
+	case "NICEKV+LB":
+		opts.LoadBalance = true
+	case "NICEKV+harmonia":
+		opts.Harmonia = true
+	}
+	return opts
+}
+
+// readScaleKeySet returns keys that all hash to the same partition, so
+// every get competes for the same primary when reads are not spread.
+func readScaleKeySet(space interface{ PartitionOf(string) int }) []string {
+	keys := make([]string, 0, readScaleKeys)
+	part := -1
+	for i := 0; len(keys) < readScaleKeys; i++ {
+		k := fmt.Sprintf("rs-%d", i)
+		if part == -1 {
+			part = space.PartitionOf(k)
+		}
+		if space.PartitionOf(k) == part {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// readScaleRun measures one cell: load the working set, let the write
+// in-flight state drain, then drive a closed-loop mixed workload.
+func readScaleRun(pr Params, seed int64, system string, r int, putFrac float64) (ReadScaleCell, error) {
+	cell := ReadScaleCell{System: system, R: r, PutFrac: putFrac}
+	opts := readScaleOpts(system, seed, r)
+	d := NewNICE(opts)
+	defer d.Close()
+	if err := d.Settle(); err != nil {
+		return cell, err
+	}
+	keys := readScaleKeySet(d.Space)
+	const valueSize = workload.DefaultValueSize
+
+	// Load phase, then a drain sleep: with harmonia every loaded key must
+	// leave the dirty set before the measured reads start.
+	var loadErr error
+	d.Sim.Spawn("rs-load", func(p *sim.Proc) {
+		for _, k := range keys {
+			if _, err := d.Clients[0].Put(p, k, "v", valueSize); err != nil {
+				loadErr = err
+				break
+			}
+		}
+		p.Sleep(20 * time.Millisecond)
+		d.Sim.Stop()
+	})
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	if loadErr != nil {
+		return cell, loadErr
+	}
+
+	baseLocal, baseReplica := int64(0), int64(0)
+	for _, n := range d.Nodes {
+		ns := n.Stats()
+		baseLocal += ns.GetsServedLocal
+		baseReplica += ns.GetsServedAsReplica
+	}
+
+	// Measured phase: closed-loop clients, uniform key choice over the
+	// single-partition working set.
+	perClient := pr.Ops / 4
+	if perClient < 50 {
+		perClient = 50
+	}
+	var hist metrics.Histogram
+	gets := 0
+	start := d.Sim.Now()
+	var opErr error
+	g := sim.NewGroup(d.Sim)
+	for c := range d.Clients {
+		c := c
+		rng := rand.New(rand.NewSource(seed + 7000*int64(c+1)))
+		g.Add(1)
+		d.Sim.Spawn(fmt.Sprintf("rs-client%d", c), func(p *sim.Proc) {
+			defer g.Done()
+			for n := 0; n < perClient; n++ {
+				k := keys[rng.Intn(len(keys))]
+				if rng.Float64() < putFrac {
+					if _, err := d.Clients[c].Put(p, k, n, valueSize); err != nil {
+						opErr = err
+						return
+					}
+					continue
+				}
+				res, err := d.Clients[c].Get(p, k)
+				if err != nil {
+					opErr = err
+					return
+				}
+				hist.Add(res.Latency)
+				gets++
+			}
+		})
+	}
+	d.Sim.Spawn("rs-join", func(p *sim.Proc) { g.Wait(p); d.Sim.Stop() })
+	if err := d.Sim.Run(); err != nil {
+		return cell, err
+	}
+	if opErr != nil {
+		return cell, opErr
+	}
+
+	elapsed := (d.Sim.Now() - start).Seconds()
+	if elapsed > 0 {
+		cell.GetTput = float64(gets) / elapsed
+	}
+	cell.GetP99Micros = hist.Percentile(99) * 1e6
+	for _, n := range d.Nodes {
+		ns := n.Stats()
+		cell.ServedLocal += ns.GetsServedLocal
+		cell.ServedReplica += ns.GetsServedAsReplica
+	}
+	cell.ServedLocal -= baseLocal
+	cell.ServedReplica -= baseReplica
+	if d.Harmonia != nil {
+		st := d.Harmonia.Stats()
+		cell.Routed = st.Routed
+		cell.Fallbacks = st.DirtyFallbacks + st.TaintFallbacks
+	}
+	return cell, nil
+}
+
+// ReadScaleSweep runs the full grid on the RunCells worker pool.
+func ReadScaleSweep(pr Params) (*ReadScaleReport, error) {
+	rep := &ReadScaleReport{
+		Nodes:    readScaleNodes,
+		Clients:  readScaleClients,
+		Keys:     readScaleKeys,
+		Replicas: ReadScaleReplicas,
+		PutFracs: ReadScalePutFracs,
+	}
+	nR, nF := len(ReadScaleReplicas), len(ReadScalePutFracs)
+	cells := make([]ReadScaleCell, len(readScaleSystems)*nR*nF)
+	err := RunCells(pr, len(cells), func(i int, seed int64) error {
+		sys := readScaleSystems[i/(nR*nF)]
+		ri := (i / nF) % nR
+		fi := i % nF
+		c, cerr := readScaleRun(pr, seed, sys, ReadScaleReplicas[ri], ReadScalePutFracs[fi])
+		cells[i] = c
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Cells = cells
+
+	rep.SpeedupAtMaxR = make(map[string]float64)
+	maxR := ReadScaleReplicas[nR-1]
+	var base float64
+	for _, c := range cells {
+		if c.System == "NICEKV" && c.R == maxR && c.PutFrac == 0 {
+			base = c.GetTput
+		}
+	}
+	if base > 0 {
+		for _, c := range cells {
+			if c.R == maxR && c.PutFrac == 0 {
+				rep.SpeedupAtMaxR[c.System] = c.GetTput / base
+			}
+		}
+	}
+	return rep, nil
+}
+
+// ReadScaleFigure renders the read-only scaling row as a figure, one
+// series per system over the replication-factor axis.
+func ReadScaleFigure(rep *ReadScaleReport) *Figure {
+	fig := &Figure{
+		ID:     "readscale",
+		Title:  "Get throughput vs replication factor (single-partition working set)",
+		XLabel: "replication factor",
+		YLabel: "gets per second, aggregate",
+		Notes: []string{
+			fmt.Sprintf("%d nodes, %d closed-loop clients, %d keys on one partition, read-only row",
+				rep.Nodes, rep.Clients, rep.Keys),
+			"harmonia: clean keys spread over all live replicas; dirty keys pinned to the primary",
+		},
+	}
+	for _, sys := range readScaleSystems {
+		s := Series{System: sys}
+		for _, r := range rep.Replicas {
+			for _, c := range rep.Cells {
+				if c.System == sys && c.R == r && c.PutFrac == 0 {
+					s.Points = append(s.Points, Point{X: fmt.Sprintf("%d", r), Value: c.GetTput})
+				}
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestReadScaleShape: harmonia's read-only throughput must actually
+// scale with the replication factor — the acceptance bar is 2x over the
+// primary-reads baseline at the largest R, and the measured speedup sits
+// far above it.
+func TestReadScaleShape(t *testing.T) {
+	rep, err := ReadScaleSweep(Params{Ops: 400, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rep.SpeedupAtMaxR["NICEKV"]
+	harm := rep.SpeedupAtMaxR["NICEKV+harmonia"]
+	if base != 1 {
+		t.Errorf("baseline speedup = %.2f, want 1", base)
+	}
+	if harm < 2 {
+		t.Errorf("harmonia read-only speedup at R=%d is %.2fx, want >= 2x",
+			rep.Replicas[len(rep.Replicas)-1], harm)
+	}
+	// Replica-routing evidence: the harmonia cells must show non-primary
+	// serves and switch rewrites, and only the harmonia cells.
+	for _, c := range rep.Cells {
+		if c.System == "NICEKV+harmonia" && c.R > 1 && c.PutFrac == 0 {
+			if c.ServedReplica == 0 || c.Routed == 0 {
+				t.Errorf("harmonia R=%d cell shows no replica routing: %+v", c.R, c)
+			}
+		}
+		if c.System != "NICEKV+harmonia" && (c.Routed != 0 || c.Fallbacks != 0) {
+			t.Errorf("%s cell has harmonia counters: %+v", c.System, c)
+		}
+	}
+}
+
+// TestReadScaleDeterminism: the sweep is a simulation — same params,
+// same cells, bit for bit, sequential or parallel.
+func TestReadScaleDeterminism(t *testing.T) {
+	pr := Params{Ops: 200, Seed: 7}
+	a, err := ReadScaleSweep(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Seq = true
+	b, err := ReadScaleSweep(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Errorf("cell %d diverged:\n  parallel:   %+v\n  sequential: %+v",
+				i, a.Cells[i], b.Cells[i])
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package controller
 
 import (
-	"sort"
 	"time"
 
 	"repro/internal/ring"
@@ -95,9 +94,7 @@ func (svc *Service) EnableCache(c *switchcache.Cache, cfg CacheManagerConfig) *C
 				resident[ce.Key] = true
 			}
 		}
-		keys := c.Keys()
-		sort.Strings(keys)
-		for _, key := range keys {
+		for _, key := range c.Keys() { // Keys() is sorted: deterministic evict order
 			if !resident[key] {
 				svc.store.WriteCache(svc.gen, key, 0, false)
 				c.EvictAs(svc.gen, key)

@@ -38,12 +38,17 @@ func (svc *Service) PacketIn(dp *openflow.Datapath, pkt *netsim.Packet, inPort i
 	// groups have landed (§5 mapping service).
 	if part, ok := svc.cfg.Unicast.PartitionOfAddr(pkt.DstIP); ok {
 		svc.installPartition(part)
-		primary := svc.views[part].Primary()
-		if port, ok := svc.topo.PortToward(dp, primary.IP); ok {
-			out := pkt.Clone()
-			out.DstIP = primary.IP
-			out.DstMAC = primary.MAC
-			dp.PacketOut(out, port)
+		// A fully collapsed partition (every replica failed) has no
+		// primary to forward to: the packet is dropped and the client
+		// retries until an operator or a rejoin restores the view.
+		if v := svc.views[part]; len(v.Replicas) > 0 {
+			primary := v.Primary()
+			if port, ok := svc.topo.PortToward(dp, primary.IP); ok {
+				out := pkt.Clone()
+				out.DstIP = primary.IP
+				out.DstMAC = primary.MAC
+				dp.PacketOut(out, port)
+			}
 		}
 		net.RecyclePacket(pkt)
 		return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/harmonia"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
 	"repro/internal/ring"
@@ -133,6 +134,16 @@ type Service struct {
 	// takeover read from the store (introspection for tests).
 	restoredCache []CacheState
 
+	// lastHolder remembers, per collapsed partition, the final replica
+	// that was removed when the view emptied. Only that node's return
+	// reseats the partition: as the last primary standing it held every
+	// acknowledged write, while any other rejoiner's resurrected store
+	// may predate acks the deposed holder issued — reseating one of
+	// those would serve (and version against) lost state. Local soft
+	// state: a standby takeover forgets it, leaving the collapsed
+	// partition to the operator, which is the conservative outcome.
+	lastHolder map[int]NodeAddr
+
 	// learning-switch state (§5 mapping service)
 	known   map[netsim.IP]hostLoc
 	pending map[netsim.IP][]pendingPkt
@@ -143,6 +154,9 @@ type Service struct {
 
 	// hot-key cache detector (nil unless EnableCache was called)
 	cacheMgr *CacheManager
+
+	// in-switch dirty-set stage (nil unless EnableHarmonia was called)
+	harmonia *harmonia.DirtySet
 }
 
 type hostLoc struct {
@@ -167,13 +181,14 @@ func New(stack *transport.Stack, topo Topology, cfg Config, nodes []NodeAddr) *S
 		cfg.MissedHeartbeats = 3
 	}
 	svc := &Service{
-		cfg:     cfg,
-		s:       stack.Sim(),
-		stack:   stack,
-		topo:    topo,
-		known:   make(map[netsim.IP]hostLoc),
-		pending: make(map[netsim.IP][]pendingPkt),
-		arped:   make(map[netsim.IP]sim.Time),
+		cfg:        cfg,
+		s:          stack.Sim(),
+		stack:      stack,
+		topo:       topo,
+		known:      make(map[netsim.IP]hostLoc),
+		pending:    make(map[netsim.IP][]pendingPkt),
+		arped:      make(map[netsim.IP]sim.Time),
+		lastHolder: make(map[int]NodeAddr),
 	}
 	if cfg.Store == nil {
 		cfg.Store = NewMemStore()
@@ -345,6 +360,43 @@ func (svc *Service) sendToNode(a NodeAddr, msg any, size int) {
 	svc.ctrl.SendTo(a.IP, a.CtrlPort, msg, size)
 }
 
+// barrierSend delivers msg to node a only after every group datapath
+// has applied the mods submitted so far (Datapath.Barrier). Harmonia
+// clusters need the fence on recovery kickoff messages: the recovering
+// node starts its range sync the moment the message lands, and the sync
+// only covers puts prepared before it if the node is already in the put
+// multicast group — a sync racing ahead of a delayed group mod misses
+// writes forever, and harmonia would later serve reads from that node.
+// Without harmonia a recovering replica never serves reads, so the
+// message goes out immediately and event timing is unchanged.
+func (svc *Service) barrierSend(a NodeAddr, msg any, size int) {
+	if svc.harmonia == nil {
+		svc.sendToNode(a, msg, size)
+		return
+	}
+	remaining := 0
+	for _, dp := range svc.topo.GroupDatapaths() {
+		if dp.WriterAllowed(svc.gen) {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		svc.sendToNode(a, msg, size)
+		return
+	}
+	for _, dp := range svc.topo.GroupDatapaths() {
+		if !dp.WriterAllowed(svc.gen) {
+			continue
+		}
+		dp.Barrier(func() {
+			remaining--
+			if remaining == 0 {
+				svc.sendToNode(a, msg, size)
+			}
+		})
+	}
+}
+
 // fail runs the §4.4 failure-hiding procedure for node idx.
 func (svc *Service) fail(idx int) {
 	n := svc.nodes[idx]
@@ -382,8 +434,9 @@ func (svc *Service) fail(idx int) {
 			svc.tracef("%v: partition %d handoff -> node %d", svc.s.Now(), v.Partition, h.Index)
 		}
 		if len(v.Replicas) == 0 {
+			svc.lastHolder[v.Partition] = n.addr
 			svc.tracef("%v: partition %d lost its last replica", svc.s.Now(), v.Partition)
-			continue // nothing to install or announce until an operator acts
+			continue // nothing to install or announce until the holder returns
 		}
 		if wasPrimary {
 			svc.tracef("%v: partition %d primary failed; promoting node %d",
@@ -525,7 +578,7 @@ func (svc *Service) handleRejoin(idx int) {
 			}
 			info.Handoffs = append(info.Handoffs, h)
 		}
-		svc.sendToNode(n.addr, info, ctrlMsgSize+len(info.Views)*32)
+		svc.barrierSend(n.addr, info, ctrlMsgSize+len(info.Views)*32)
 		return
 	}
 	n.status = nodeRecovering
@@ -539,10 +592,27 @@ func (svc *Service) handleRejoin(idx int) {
 		if v.HasReplica(idx) || v.IsRecovering(idx) {
 			continue // never left (failed before any view update?)
 		}
-		// Appending (not replacing) lets several nodes be mid-rejoin on
-		// one partition when failures overlap; each completes on its own
-		// ConsistentNotice.
-		v.Recovering = append(v.Recovering, n.addr)
+		if len(v.Replicas) == 0 {
+			// The partition collapsed — every member failed before a
+			// handoff could stand in. Only the recorded last holder may
+			// reseat it: it alone is known to hold every acknowledged
+			// write. A different rejoiner (deposed earlier, store behind)
+			// skips the partition — reseating it would ack fresh puts at
+			// stale versions while the real holder is merely unreachable.
+			lh, ok := svc.lastHolder[v.Partition]
+			if !ok || lh.Index != idx {
+				continue
+			}
+			delete(svc.lastHolder, v.Partition)
+			v.Replicas = append(v.Replicas, n.addr)
+			svc.tracef("%v: partition %d reseated on returning holder %d",
+				svc.s.Now(), v.Partition, idx)
+		} else {
+			// Appending (not replacing) lets several nodes be mid-rejoin on
+			// one partition when failures overlap; each completes on its own
+			// ConsistentNotice.
+			v.Recovering = append(v.Recovering, n.addr)
+		}
 		v.Epoch++
 		svc.installPartition(part)
 		svc.announce(v, -1)
@@ -553,7 +623,7 @@ func (svc *Service) handleRejoin(idx int) {
 		}
 		info.Handoffs = append(info.Handoffs, h)
 	}
-	svc.sendToNode(n.addr, info, ctrlMsgSize+len(info.Views)*32)
+	svc.barrierSend(n.addr, info, ctrlMsgSize+len(info.Views)*32)
 	// The Recovering transition may have touched no view ("never left"
 	// rejoins); replicate the status vector anyway so a takeover during
 	// this window still knows the node is mid-rejoin.
@@ -622,12 +692,15 @@ func (svc *Service) AddReplica(part, idx int) error {
 	if v.HasReplica(idx) || v.IsRecovering(idx) {
 		return fmt.Errorf("controller: node %d already serves partition %d", idx, part)
 	}
+	if len(v.Replicas) == 0 {
+		return fmt.Errorf("controller: partition %d has no primary to expand from", part)
+	}
 	a := n.addr
 	v.Recovering = append(v.Recovering, a)
 	v.Epoch++
 	svc.installPartition(part)
 	svc.announce(v, -1)
-	svc.sendToNode(a, &ExpandAssign{View: v.Clone(), Source: v.Primary()}, sizeOfView(v))
+	svc.barrierSend(a, &ExpandAssign{View: v.Clone(), Source: v.Primary()}, sizeOfView(v))
 	svc.tracef("%v: node %d joining partition %d (put-visible)", svc.s.Now(), idx, part)
 	return nil
 }
@@ -644,6 +717,20 @@ func (svc *Service) homePartitions(idx int) []int {
 // group-direct rule, and the group itself.
 func (svc *Service) installPartition(p int) {
 	v := svc.views[p]
+	if len(v.Replicas) == 0 {
+		// Fully collapsed partition (every member failed before a handoff
+		// could be found): there is no primary to route to. Drop the
+		// partition's mapping state so traffic punts to packet-in (and is
+		// dropped there) instead of chasing a dead address.
+		for _, dp := range svc.topo.MappingDatapaths() {
+			if !dp.WriterAllowed(svc.gen) {
+				continue
+			}
+			dp.RemoveCookie(fmt.Sprintf("uni-p%d.", p))
+			dp.RemoveCookie(fmt.Sprintf("mc-p%d.", p))
+		}
+		return
+	}
 	uniPfx := svc.cfg.Unicast.SubgroupPrefix(p)
 	mcPfx := svc.cfg.Multicast.SubgroupPrefix(p)
 
@@ -761,6 +848,11 @@ func (svc *Service) installPartition(p int) {
 		})
 	}
 
+	// Harmonia: every view change re-installs the read-serving replica
+	// set at the dirty-set stage, flushing its resident entries for the
+	// partition so membership churn can never route a read to a replica
+	// missing an acknowledged write.
+	svc.installHarmonia(p)
 }
 
 // divisions splits the client space into n power-of-two source prefixes

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"repro/internal/harmonia"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
 	"repro/internal/sim"
@@ -118,6 +119,12 @@ type Standby struct {
 	// detector would keep sampling into the void).
 	cache    *switchcache.Cache
 	cacheCfg CacheManagerConfig
+
+	// harmonia, when set, is re-adopted at takeover: the promoted
+	// service re-installs every partition's replica set under its fresh
+	// writer generation, flushing the dirty set inherited from the dead
+	// controller's tenure.
+	harmonia *harmonia.DirtySet
 }
 
 // NewStandby builds a standby on its own host. cfg must match the
@@ -152,6 +159,13 @@ func (sb *Standby) Promoted() *Service { return sb.promoted }
 func (sb *Standby) EnableCacheOnTakeover(c *switchcache.Cache, cfg CacheManagerConfig) {
 	sb.cache = c
 	sb.cacheCfg = cfg
+}
+
+// EnableHarmoniaOnTakeover registers the in-switch dirty-set stage the
+// promoted service must adopt (re-installing and flushing every
+// partition under its own writer generation).
+func (sb *Standby) EnableHarmoniaOnTakeover(ds *harmonia.DirtySet) {
+	sb.harmonia = ds
 }
 
 // Start begins mirroring and watching the active service.
@@ -234,6 +248,9 @@ func (sb *Standby) takeover(p *sim.Proc) {
 	svc.Start()
 	if sb.cache != nil {
 		svc.EnableCache(sb.cache, sb.cacheCfg)
+	}
+	if sb.harmonia != nil {
+		svc.EnableHarmonia(sb.harmonia)
 	}
 
 	// Adopt the service identity in the network: packets to the old

@@ -242,7 +242,9 @@ func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		f := sim.NewFuture[any](c.stack.Sim())
 		c.pending[id] = f
-		c.udp.SendTo(c.cfg.Unicast.AddrOfKey(key), c.cfg.DataPort, req, getReqSize)
+		r := *req // per-attempt copy: the retry counter steers harmonia's replica hash
+		r.Attempt = attempt
+		c.udp.SendTo(c.cfg.Unicast.AddrOfKey(key), c.cfg.DataPort, &r, getReqSize)
 		if raw, ok := f.WaitTimeout(p, c.cfg.OpTimeout); ok {
 			rep := raw.(*GetReply)
 			return OpResult{

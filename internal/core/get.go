@@ -9,8 +9,10 @@ import (
 // (primary by default, or per the source-division load-balancing rules),
 // so the node answers from local state. A handoff node missing the object
 // forwards the request to the primary, which replies to the client
-// directly (§4.4).
-func (n *Node) handleGet(p *sim.Proc, req *GetRequest, forwarded bool) {
+// directly (§4.4). replicaRouted marks reads that arrived on the
+// dedicated replica port — the dirty-set stage vouched the key was clean
+// when it rewrote them here, so they may be served from a non-primary.
+func (n *Node) handleGet(p *sim.Proc, req *GetRequest, forwarded, replicaRouted bool) {
 	n.stats.Gets++
 	n.cpu.Use(p, n.cfg.CPUPerOp)
 	if n.recovering {
@@ -53,7 +55,7 @@ func (n *Node) handleGet(p *sim.Proc, req *GetRequest, forwarded bool) {
 		n.stats.GetsHeld++
 		return
 	}
-	n.replyFromStore(p, req)
+	n.replyFromStore(p, req, replicaRouted)
 }
 
 // sendGetReply answers a get hit, carrying the committed version.
@@ -64,7 +66,7 @@ func (n *Node) sendGetReply(req *GetRequest, obj *kvstore.Object) {
 }
 
 // replyFromStore answers a get from the main namespace.
-func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest) {
+func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest, replicaRouted bool) {
 	part := n.cfg.Space.PartitionOf(req.Key)
 	if n.views[part] == nil {
 		// Not (or no longer) a member of this partition — stale client
@@ -88,6 +90,37 @@ func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest) {
 		// member-range sync finishes.
 		n.stats.GetsHeld++
 		return
+	}
+	isPrimary := n.views[part].Primary().Index == n.cfg.Addr.Index
+	if n.cfg.HarmoniaServe && !replicaRouted && !isPrimary {
+		// Primary-routed read at a node that does not believe itself
+		// primary. The fabric may have remapped the partition's reads to a
+		// freshly promoted primary before the promotion announcement
+		// reached it (view updates and data packets race on independent
+		// paths) — and under any-k the promotee can be a laggard that never
+		// saw acked writes, leaving no local lock or log to gate on. Stay
+		// silent; the client's retry lands after the view settles.
+		n.stats.GetsHeld++
+		n.stats.GetsHeldNotPrimary++
+		return
+	}
+	if n.cfg.HarmoniaServe && replicaRouted && (n.store.HasLog(req.Key) || n.store.Locked(req.Key)) {
+		// Replica-side conflict gate: the dirty-set stage routed this read
+		// here believing the key clean, but a write is in flight locally
+		// (prepared or locked) — under any-k this node may be a laggard the
+		// commit quorum did not wait for. Serving now could return a value
+		// about to be superseded by an already-acknowledged commit. Stay
+		// silent; the client's retry re-hashes or lands after the apply.
+		n.stats.GetsHeld++
+		n.stats.GetsHeldConflict++
+		return
+	}
+	if n.cfg.HarmoniaServe {
+		if isPrimary {
+			n.stats.GetsServedLocal++
+		} else {
+			n.stats.GetsServedAsReplica++
+		}
 	}
 	obj, ok := n.store.Get(p, req.Key)
 	if Debug {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// HarmoniaCodec adapts the NICEKV wire format to the in-switch dirty-set
+// stage (package harmonia): it recognizes client get datagrams and the
+// multicast chunk completing a put prepare's transfer in the switch
+// pipeline.
+type HarmoniaCodec struct {
+	// DataPort is the storage nodes' request port; only UDP datagrams to
+	// it are protocol traffic.
+	DataPort uint16
+}
+
+// ParseGet implements harmonia.Parser. The returned request identifier
+// mixes the client's stable request ID with its retry counter so
+// retries can hash to a different replica.
+func (c HarmoniaCodec) ParseGet(pkt *netsim.Packet) (string, uint64, bool) {
+	if pkt.Proto != netsim.ProtoUDP || pkt.DstPort != c.DataPort {
+		return "", 0, false
+	}
+	req, ok := pkt.Payload.(*GetRequest)
+	if !ok {
+		return "", 0, false
+	}
+	return req.Key, req.ReqID + uint64(req.Attempt)<<48, true
+}
+
+// ParsePut implements harmonia.Parser: a put prepare is the final
+// multicast chunk of a PutRequest transfer (only the last chunk carries
+// the message, so each traversal marks once; unicast repair
+// retransmissions re-deliver the same message and merge into the same
+// mark). The operation identity is the put's reqKey — stable across
+// client retries, recoverable from a committed object's version — so
+// the commit hooks can find the mark.
+func (c HarmoniaCodec) ParsePut(pkt *netsim.Packet) (string, any, bool) {
+	if pkt.Proto != netsim.ProtoUDP {
+		return "", nil, false
+	}
+	data, ok := transport.ChunkPayload(pkt.Payload)
+	if !ok {
+		return "", nil, false
+	}
+	req, ok := data.(*PutRequest)
+	if !ok {
+		return "", nil, false
+	}
+	return req.Key, req.key(), true
+}
+
+// HarmoniaHook is the slice of the in-switch dirty-set a storage node
+// drives: the commit/abort half of the conflict-detection protocol. In
+// hardware these are the commit's ack and timestamp packets passing back
+// through the switch; in the simulation the node invokes them
+// synchronously at apply/abort time, which is strictly earlier — safe,
+// because the stage only retires a mark once every read-serving replica
+// has applied the write.
+type HarmoniaHook interface {
+	// MemberApplied records that member holds op's committed object for
+	// key.
+	MemberApplied(key string, op any, member netsim.IP)
+	// OpAborted records that op was abandoned and will never commit.
+	OpAborted(key string, op any)
+}
+
+// harmoniaApplied reports a local commit of obj to the dirty-set stage;
+// called from every path that installs a committed object — applyLocal
+// (2PC primary and secondary, late timestamps, resolution commit orders)
+// and lateTs's newer-timestamp adoption — before any acknowledgment is
+// generated. The op identity is recovered from the committed version.
+func (n *Node) harmoniaApplied(obj *kvstore.Object) {
+	if n.cfg.Harmonia == nil {
+		return
+	}
+	op := reqKey{Client: obj.Version.Client, Seq: obj.Version.ClientSeq}
+	n.cfg.Harmonia.MemberApplied(obj.Key, op, n.cfg.Addr.IP)
+}
+
+// harmoniaAborted reports an abandoned put to the dirty-set stage.
+func (n *Node) harmoniaAborted(key string, op reqKey) {
+	if n.cfg.Harmonia == nil {
+		return
+	}
+	n.cfg.Harmonia.OpAborted(key, op)
+}

@@ -100,6 +100,12 @@ type GetRequest struct {
 	ReqID      uint64
 	Client     netsim.IP
 	ClientPort uint16
+	// Attempt is the client's retry counter for this request. The
+	// harmonia stage mixes it into the replica-choice hash so a read
+	// whose hashed replica stays silent (crashed but not yet detected)
+	// escapes to a different replica on retry instead of timing out
+	// MaxRetries times against the same dead node.
+	Attempt int
 }
 
 // GetReply answers a GetRequest on the client's reply stream.
@@ -141,9 +147,21 @@ type FetchRangeReq struct {
 	Partition int
 }
 
-// FetchRangeReply returns the partition's objects.
+// FetchRangeReply returns the partition's objects. Pending lists the
+// puts still open in the responder's WAL for the partition (harmonia
+// clusters only): their commits are not in Objects yet, and a fetcher
+// that was outside the put multicast group when they were prepared has
+// no other way to learn them — it must re-fetch until they resolve
+// before serving reads (see syncPartition).
 type FetchRangeReply struct {
 	Objects []*kvstore.Object
+	Pending []PendingPut
+}
+
+// PendingPut names one in-flight put at a fetch responder.
+type PendingPut struct {
+	Key string
+	Req reqKey
 }
 
 // LockQuery is the new primary's post-promotion probe (§4.4 "failures

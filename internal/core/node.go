@@ -37,6 +37,25 @@ type NodeConfig struct {
 	// CacheUpdateOnPut selects write-update (refresh the cached copy in
 	// place) over the default write-invalidate.
 	CacheUpdateOnPut bool
+	// Harmonia, when non-nil, is the in-switch dirty-set stage this
+	// node's traffic traverses; every commit and abort is reported to it
+	// before the acknowledgment it unblocks can be generated.
+	Harmonia HarmoniaHook
+	// HarmoniaServe enables replica-side read serving: a get landing on
+	// ReplicaPort (rewritten there by the dirty-set stage) is answered
+	// from the local store, gated on the key having no in-flight write
+	// here. Reads on the normal data port are primary-routed by
+	// definition and are held unless this node believes itself primary —
+	// the fabric can retarget the partition's reads to a freshly promoted
+	// primary before the promotion announcement reaches it, and an any-k
+	// laggard serving that window would return stale data. Off, gets are
+	// served like before — the mode only exists so harmonia-off runs stay
+	// bit-identical.
+	HarmoniaServe bool
+	// ReplicaPort, when nonzero, is the second data port the node serves
+	// replica-routed reads on (the dirty-set stage rewrites clean gets to
+	// a replica's physical IP and this port).
+	ReplicaPort uint16
 	// Storage, when non-nil, backs the node's store with the durable
 	// sharded engine (internal/storage): crash drops unfsynced WAL state
 	// and recovery really replays the log instead of resurrecting memory.
@@ -64,6 +83,12 @@ type NodeStats struct {
 	Resolutions int64 // locked objects resolved after promotion
 	DupPuts     int64 // retried puts answered from the dedup record
 	GetsHeld    int64 // gets not answered: no consistent copy reachable
+	// Read-distribution counters (harmonia mode): where this node's
+	// answered gets were served from relative to partition leadership.
+	GetsServedLocal     int64 // answered while primary of the key's partition
+	GetsServedAsReplica int64 // answered as a non-primary replica
+	GetsHeldConflict    int64 // replica-side holds: key had an in-flight write here
+	GetsHeldNotPrimary  int64 // primary-routed gets held: this node is not (yet) primary
 	// RecoveryFetchFails counts sync rounds that left at least one view
 	// member unanswered (the fetch is retried until every member replies).
 	RecoveryFetchFails int64
@@ -101,6 +126,7 @@ type Node struct {
 	pool  *connPool
 
 	data  *transport.UDPSocket
+	rdata *transport.UDPSocket // replica-routed reads (harmonia mode only)
 	mcast *transport.MulticastReceiver
 	ctrl  *transport.UDPSocket
 
@@ -199,6 +225,10 @@ func (n *Node) Start() {
 	n.s.Spawn(n.name("ctrl"), n.ctrlLoop)
 	n.s.Spawn(n.name("data"), n.dataLoop)
 	n.s.Spawn(n.name("mcast"), n.mcastLoop)
+	if n.cfg.ReplicaPort != 0 {
+		n.rdata = n.stack.MustBindUDP(n.cfg.ReplicaPort)
+		n.s.Spawn(n.name("rdata"), n.replicaDataLoop)
+	}
 	n.s.Spawn(n.name("accept"), func(p *sim.Proc) {
 		for {
 			conn, ok := ln.Accept(p)
@@ -293,6 +323,14 @@ func (n *Node) applyView(v *controller.PartitionView, asHandoff bool) {
 	if old != nil && (v.Gen < old.Gen || (v.Gen == old.Gen && old.Epoch >= v.Epoch)) {
 		return
 	}
+	if len(v.Replicas) == 0 {
+		// Primary-less view: nothing can be served or committed under it.
+		// The controller never announces one (a collapsed partition is
+		// reseated through the first rejoiner), so this is a stale or
+		// corrupt message — ignoring it beats dereferencing a primary
+		// that does not exist.
+		return
+	}
 	me := n.cfg.Addr.Index
 	participating := false
 	for _, r := range v.PutParticipants() {
@@ -347,13 +385,17 @@ func (n *Node) applyView(v *controller.PartitionView, asHandoff bool) {
 	if isPrimary && !wasPrimary && old != nil {
 		// Promoted mid-flight: resolve objects the old primary left
 		// locked (§4.4 "failures during put").
-		n.maybeResolve(v.Partition)
+		n.maybeResolve(v.Partition, old)
 	}
 }
 
 // maybeResolve runs lock resolution for a partition this node leads,
-// debounced to one run at a time.
-func (n *Node) maybeResolve(part int) {
+// debounced to one run at a time. old, when non-nil, is the superseded
+// view at the moment of promotion: members it names that the current
+// view dropped are chased during the post-promotion range sync, since a
+// falsely deposed (live) member can hold acked writes no current member
+// ever saw.
+func (n *Node) maybeResolve(part int, old *controller.PartitionView) {
 	v := n.views[part]
 	if v == nil || v.Primary().Index != n.cfg.Addr.Index || n.resolving[part] {
 		return
@@ -369,6 +411,14 @@ func (n *Node) maybeResolve(part int) {
 		// Puts can flow again once resolution clears; gets stay held until
 		// the range sync below lands (get.go).
 		n.syncing[part] = true
+	}
+	var extra []controller.NodeAddr
+	if old != nil {
+		for _, m := range old.PutParticipants() {
+			if m.Index != n.cfg.Addr.Index {
+				extra = append(extra, m)
+			}
+		}
 	}
 	n.s.Spawn(n.name("resolve"), func(p *sim.Proc) {
 		defer func() { n.resolving[part] = false }()
@@ -389,7 +439,7 @@ func (n *Node) maybeResolve(part int) {
 				}
 				nv := n.views[part]
 				return nv == nil || nv.Primary().Index != n.cfg.Addr.Index
-			})
+			}, extra...)
 		})
 	})
 }
@@ -468,6 +518,24 @@ func (n *Node) releaseHandoff(part int) {
 	delete(n.views, part)
 }
 
+// replicaDataLoop serves reads the dirty-set stage rewrote to this node
+// as a non-primary replica. The dedicated port is the routing-class
+// signal: only packets the switch vouched for (key clean at traversal
+// time) arrive here, so they may be answered from a non-primary — still
+// gated on the key having no in-flight write locally.
+func (n *Node) replicaDataLoop(p *sim.Proc) {
+	for {
+		d, ok := n.rdata.Recv(p)
+		if !ok {
+			return
+		}
+		if m, ok := d.Data.(*GetRequest); ok {
+			req := m
+			n.s.Spawn(n.name("rget"), func(p *sim.Proc) { n.handleGet(p, req, false, true) })
+		}
+	}
+}
+
 // dataLoop dispatches datagrams: get requests, protocol acks, timestamp
 // multicasts, forwarded gets, and resolution orders.
 func (n *Node) dataLoop(p *sim.Proc) {
@@ -479,10 +547,10 @@ func (n *Node) dataLoop(p *sim.Proc) {
 		switch m := d.Data.(type) {
 		case *GetRequest:
 			req := m
-			n.s.Spawn(n.name("get"), func(p *sim.Proc) { n.handleGet(p, req, false) })
+			n.s.Spawn(n.name("get"), func(p *sim.Proc) { n.handleGet(p, req, false, false) })
 		case *ForwardedGet:
 			req := m.Req
-			n.s.Spawn(n.name("fwdget"), func(p *sim.Proc) { n.handleGet(p, &req, true) })
+			n.s.Spawn(n.name("fwdget"), func(p *sim.Proc) { n.handleGet(p, &req, true, false) })
 		case *Ack1:
 			if ps := n.puts[m.Req]; ps != nil {
 				ps.ack1[m.From] = true
@@ -517,7 +585,7 @@ func (n *Node) dataLoop(p *sim.Proc) {
 		case *AbortOrder:
 			n.applyAbortOrder(m)
 		case *ResolveRequest:
-			n.maybeResolve(m.Partition)
+			n.maybeResolve(m.Partition, nil)
 		}
 	}
 }

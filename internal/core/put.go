@@ -117,6 +117,12 @@ func (n *Node) duplicatePut(p *sim.Proc, v *controller.PartitionView, req *PutRe
 	n.stats.DupPuts++
 	n.cpu.Use(p, n.cfg.CPUPerOp)
 	k := req.key()
+	if n.cfg.Harmonia != nil {
+		// The retry's own multicast re-marked the key dirty at the switch;
+		// this member already holds the commit, so report it applied — once
+		// every replica dedups the retry the mark retires again.
+		n.cfg.Harmonia.MemberApplied(req.Key, k, n.cfg.Addr.IP)
+	}
 	dbg("%v node%d duplicatePut %s primary=%v ts=%v", p.Now(), n.cfg.Addr.Index, req.Key, isPrimary, ts)
 	if !isPrimary {
 		pr := v.Primary()
@@ -242,6 +248,7 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Abort: true, Attempt: req.Attempt}, tsMsgSize)
 		n.store.DropLog(req.Key)
 		n.store.Unlock(req.Key)
+		n.harmoniaAborted(req.Key, req.key())
 		n.stats.Aborts++
 		n.replyPut(req, false, "replica unresponsive", 0)
 		return
@@ -335,7 +342,7 @@ func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *Pu
 				return
 			}
 			if cur.Primary().Index == n.cfg.Addr.Index {
-				n.maybeResolve(part)
+				n.maybeResolve(part, nil)
 				return
 			}
 			pr := cur.Primary()
@@ -346,6 +353,7 @@ func (n *Node) secondaryCommit(p *sim.Proc, v *controller.PartitionView, req *Pu
 	if tsm.Abort {
 		n.store.DropLog(req.Key)
 		n.store.Unlock(req.Key)
+		n.harmoniaAborted(req.Key, req.key())
 		n.stats.Aborts++
 		return
 	}
@@ -394,6 +402,7 @@ func (n *Node) applyLocal(part int, obj *kvstore.Object, dup bool) {
 	}
 	n.recordCommit(obj.Version)
 	n.writeThrough(obj)
+	n.harmoniaApplied(obj)
 }
 
 // replyPut answers the client over its reply stream; ver is the committed
@@ -424,6 +433,9 @@ func (n *Node) lateTs(m *TsMsg) {
 					n.recordCommit(m.Ts)
 					n.writeThrough(&clone)
 				}
+				// Committed here either way (pre-existing or just adopted):
+				// let the dirty-set stage count this member as applied.
+				n.harmoniaApplied(obj)
 				return
 			}
 		}
@@ -443,6 +455,7 @@ func (n *Node) lateTs(m *TsMsg) {
 		if n.store.Locked(m.Key) {
 			n.store.Unlock(m.Key)
 		}
+		n.harmoniaAborted(m.Key, m.Req)
 		n.stats.Aborts++
 		return
 	}

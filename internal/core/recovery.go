@@ -13,6 +13,13 @@ import (
 // recoveryRPCTimeout bounds each recovery-protocol round trip.
 const recoveryRPCTimeout = 2 * time.Second
 
+// syncExtraAttempts bounds how often a range sync chases a peer outside
+// the current view (a member of the superseded view) before giving up on
+// it. A live peer answers on the first try; a crashed one costs a dial
+// timeout per attempt, so the bound keeps post-crash promotions from
+// stalling reads for long.
+const syncExtraAttempts = 2
+
 // serveConn answers peer requests on an inbound stream: handoff fetches
 // during node recovery and lock/version queries during new-primary
 // resolution.
@@ -46,7 +53,25 @@ func (n *Node) serveConn(p *sim.Proc, conn *transport.Conn) {
 					size += obj.Size
 				}
 			}
-			if err := conn.Send(p, &FetchRangeReply{Objects: objs}, size); err != nil {
+			// Harmonia clusters report in-flight puts: the fetcher must not
+			// declare itself read-serving until these resolve into the
+			// committed range (their prepares may predate the fetcher's
+			// multicast-group membership, so the commit multicast alone will
+			// never reach it). Non-harmonia clusters skip the report — a
+			// recovering replica never serves reads there, so the window is
+			// benign and the wire format stays byte-identical.
+			var pend []PendingPut
+			if n.cfg.HarmoniaServe {
+				for _, rec := range n.store.PendingLog() {
+					if n.cfg.Space.PartitionOf(rec.Key) != req.Partition {
+						continue
+					}
+					rk, _ := rec.Tag.(reqKey)
+					pend = append(pend, PendingPut{Key: rec.Key, Req: rk})
+					size += 32
+				}
+			}
+			if err := conn.Send(p, &FetchRangeReply{Objects: objs, Pending: pend}, size); err != nil {
 				return
 			}
 		case *FetchHandoffReq:
@@ -108,26 +133,29 @@ func (n *Node) rpc(p *sim.Proc, to controller.NodeAddr, req any, reqSize int) (a
 
 // fetchObjects performs one fetch exchange against a peer and merges the
 // returned objects into the local store (versioned — stale copies are
-// rejected). It reports whether the peer answered.
-func (n *Node) fetchObjects(p *sim.Proc, from controller.NodeAddr, req any) bool {
+// rejected). It reports whether the peer answered, and for range fetches
+// also which puts the peer still held in flight (see FetchRangeReply).
+func (n *Node) fetchObjects(p *sim.Proc, from controller.NodeAddr, req any) ([]PendingPut, bool) {
 	raw, ok := n.rpc(p, from, req, getReqSize)
 	if !ok {
-		return false
+		return nil, false
 	}
 	var objs []*kvstore.Object
+	var pend []PendingPut
 	switch rep := raw.(type) {
 	case *FetchRangeReply:
 		objs = rep.Objects
+		pend = rep.Pending
 	case *FetchHandoffReply:
 		objs = rep.Objects
 	default:
-		return false
+		return nil, false
 	}
 	for _, obj := range objs {
 		n.observeTs(obj.Version)
 		n.store.Put(p, obj)
 	}
-	return true
+	return pend, true
 }
 
 // syncPartition fetches the partition's committed range from every
@@ -141,8 +169,42 @@ func (n *Node) fetchObjects(p *sim.Proc, from controller.NodeAddr, req any) bool
 // could hide the only reachable copy, which no amount of syncing
 // recovers). stop aborts the wait — demotion, or another crash of this
 // node.
-func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool) {
+//
+// extra peers are members of the superseded view that the current one
+// dropped. Under any-k a dropped member can be the sole in-view holder
+// of an acknowledged write — a false failure verdict (lossy heartbeats,
+// not a crash) deposes a live node without any data transfer, and the
+// union over the surviving members alone silently misses its writes. A
+// dropped-but-live peer still answers range fetches from its retained
+// store, so it is chased best-effort (syncExtraAttempts, bounded — it
+// may be genuinely dead) before the sync declares completion.
+func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool, extra ...controller.NodeAddr) {
 	synced := make(map[int]bool)
+	attempts := make(map[int]int)
+	// firstPending records, per member, the puts it held in flight when it
+	// first answered (harmonia clusters only — empty otherwise). A fetch
+	// taken between a put's prepare and its commit snapshots the pre-put
+	// value, and if the prepare predates this node's multicast-group
+	// membership the commit multicast will never arrive here either: the
+	// re-fetched committed range is the only channel. So a member is not
+	// synced until every put from its first answer has resolved out of its
+	// WAL — committed copies then ride the same reply that clears it.
+	// Later prepares need no such wait: this node is already in the group
+	// and receives them directly.
+	firstPending := make(map[int][]PendingPut)
+	answered := make(map[int]bool)
+	unresolved := func(idx int, now []PendingPut) bool {
+		cur := make(map[PendingPut]bool, len(now))
+		for _, pp := range now {
+			cur[pp] = true
+		}
+		for _, pp := range firstPending[idx] {
+			if cur[pp] {
+				return true
+			}
+		}
+		return false
+	}
 	for {
 		if stop() {
 			return
@@ -152,13 +214,48 @@ func (n *Node) syncPartition(p *sim.Proc, part int, stop func() bool) {
 			return
 		}
 		pending := false
-		for _, peer := range n.othersOf(v) {
+		members := n.othersOf(v)
+		for _, peer := range members {
 			if synced[peer.Index] {
 				continue
 			}
-			if n.fetchObjects(p, peer, &FetchRangeReq{Partition: part}) {
-				synced[peer.Index] = true
+			if pend, ok := n.fetchObjects(p, peer, &FetchRangeReq{Partition: part}); ok {
+				if !answered[peer.Index] {
+					answered[peer.Index] = true
+					firstPending[peer.Index] = pend
+				}
+				if unresolved(peer.Index, pend) {
+					pending = true
+				} else {
+					synced[peer.Index] = true
+				}
 			} else {
+				pending = true
+			}
+			if stop() {
+				return
+			}
+		}
+		for _, peer := range extra {
+			if synced[peer.Index] || attempts[peer.Index] >= syncExtraAttempts {
+				continue
+			}
+			inView := false
+			for _, m := range members {
+				if m.Index == peer.Index {
+					inView = true
+					break
+				}
+			}
+			if inView {
+				continue // rejoined the view: the member loop owns it now
+			}
+			attempts[peer.Index]++
+			if _, ok := n.fetchObjects(p, peer, &FetchRangeReq{Partition: part}); ok {
+				// Best-effort by design: an extra's in-flight puts are the
+				// new primary's to resolve (resolveLocks), not this sync's.
+				synced[peer.Index] = true
+			} else if attempts[peer.Index] < syncExtraAttempts {
 				pending = true
 			}
 			if stop() {
@@ -199,7 +296,7 @@ func (n *Node) recover(p *sim.Proc, info *controller.RejoinInfo) {
 		part := v.Partition
 		if h := info.Handoffs[i]; h.IP != 0 {
 			for attempt := 0; attempt < 5 && !stop(); attempt++ {
-				if n.fetchObjects(p, h, &FetchHandoffReq{Partition: part}) {
+				if _, ok := n.fetchObjects(p, h, &FetchHandoffReq{Partition: part}); ok {
 					break
 				}
 				p.Sleep(2 * n.cfg.HeartbeatEvery)
@@ -419,5 +516,6 @@ func (n *Node) applyAbortOrder(m *AbortOrder) {
 	if n.store.Locked(m.Key) {
 		n.store.Unlock(m.Key)
 	}
+	n.harmoniaAborted(m.Key, rk)
 	n.stats.Aborts++
 }

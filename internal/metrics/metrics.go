@@ -158,6 +158,42 @@ func (c CacheCounters) String() string {
 		c.Invalidations, c.Updates, c.Occupancy, c.Capacity)
 }
 
+// HarmoniaCounters are the dirty-set stage's telemetry (internal/harmonia):
+// how the switch classified gets (clean → rewritten to a hashed replica,
+// dirty/tainted → fall through to the primary) and how the dirty table
+// itself behaved.
+type HarmoniaCounters struct {
+	Marks            int64 // keys marked dirty by a put prepare
+	Clears           int64 // dirty entries retired (all read replicas applied)
+	Routed           int64 // clean gets rewritten to a hashed replica choice
+	RoutedReplica    int64 // ... of which landed on a non-primary
+	DirtyFallbacks   int64 // gets falling through: key dirty
+	TaintFallbacks   int64 // gets falling through: partition tainted by overflow
+	Overflows        int64 // put prepares the full table could not track
+	Installs         int64 // controller view installs applied
+	RejectedInstalls int64 // installs refused by the writer-generation fence
+	Flushes          int64 // entries made sticky by a view-change install
+	Occupancy        int   // dirty entries resident now
+	Capacity         int   // dirty-table bound
+}
+
+// ReplicaShare returns RoutedReplica/Routed, 0 when idle: the fraction of
+// clean reads the fabric spread off the primary.
+func (h HarmoniaCounters) ReplicaShare() float64 {
+	if h.Routed == 0 {
+		return 0
+	}
+	return float64(h.RoutedReplica) / float64(h.Routed)
+}
+
+// String renders the counters for run summaries.
+func (h HarmoniaCounters) String() string {
+	return fmt.Sprintf("routed=%d (%.1f%% off-primary) dirty-fallbacks=%d taint-fallbacks=%d marks=%d clears=%d overflows=%d installs=%d rejected=%d flushes=%d occupancy=%d/%d",
+		h.Routed, 100*h.ReplicaShare(), h.DirtyFallbacks, h.TaintFallbacks,
+		h.Marks, h.Clears, h.Overflows, h.Installs, h.RejectedInstalls, h.Flushes,
+		h.Occupancy, h.Capacity)
+}
+
 // StorageCounters are the durable-engine telemetry (internal/storage)
 // the storagesweep experiment reports, summed across a deployment's
 // nodes. MemBytes and WALRecords are snapshots; everything else counts

@@ -292,6 +292,14 @@ func (dp *Datapath) AddFlow(e FlowEntry) *sim.Future[error] {
 	return f
 }
 
+// Barrier schedules fn on the control channel behind every mod
+// submitted so far — the OpenFlow barrier-request/reply pattern. When
+// fn runs, all earlier AddFlow/RemoveFlows/SetGroup/DeleteGroup calls
+// have been applied by the switch.
+func (dp *Datapath) Barrier(fn func()) {
+	dp.ctrlSched(fn)
+}
+
 // RemoveFlows deletes rules matching pred.
 func (dp *Datapath) RemoveFlows(pred func(*FlowEntry) bool) {
 	dp.stats.FlowMods++

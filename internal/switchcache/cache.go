@@ -20,6 +20,8 @@
 package switchcache
 
 import (
+	"sort"
+
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/openflow"
@@ -134,6 +136,11 @@ func Attach(dp *openflow.Datapath, parser Parser, cfg Config) *Cache {
 // (already delayed by the control latency).
 func (c *Cache) SetSampler(fn func(key string)) { c.sampler = fn }
 
+// SetNext rechains the cache's fall-through target, letting further
+// pipeline stages (e.g. the harmonia dirty-set) interpose between the
+// cache and the flow tables: switch → cache → stage → datapath.
+func (c *Cache) SetNext(next netsim.Pipeline) { c.next = next }
+
 // Datapath returns the wrapped datapath.
 func (c *Cache) Datapath() *openflow.Datapath { return c.dp }
 
@@ -157,13 +164,16 @@ func (c *Cache) Contains(key string) bool {
 	return ok
 }
 
-// Keys lists the resident keys (eviction policy input; order is
-// unspecified).
+// Keys lists the resident keys in sorted order. Callers feed this into
+// eviction policy and the ctrlchain takeover reconcile, both of which
+// must behave identically across replayed runs, so the map's iteration
+// order must never leak out.
 func (c *Cache) Keys() []string {
 	out := make([]string, 0, len(c.entries))
 	for k := range c.entries {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -55,6 +55,21 @@ type chunkMsg struct {
 	needAck bool   // window boundary: receivers ack on receipt
 }
 
+// ChunkPayload unwraps a multicast chunk's application message. It lets
+// switch-resident stages (e.g. the harmonia dirty-set) recognize the
+// protocol message a multicast transfer carries without exporting the
+// chunk framing itself: only the final chunk of a transfer carries the
+// message, so a stage acting on it sees each transfer exactly once per
+// switch traversal (retransmitted repairs re-deliver the same message,
+// so stages must be idempotent).
+func ChunkPayload(payload any) (any, bool) {
+	m, ok := payload.(*chunkMsg)
+	if !ok || m.data == nil {
+		return nil, false
+	}
+	return m.data, true
+}
+
 type mctrlKind uint8
 
 const (
