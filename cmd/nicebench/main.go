@@ -32,7 +32,67 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
+
+// experimentRegistry is the single source of truth for -experiment
+// names: the flag's usage string, the "all" selection (extended
+// experiments run only when named) and the unknown-experiment error are
+// all generated from it. Adding an experiment means adding a row here
+// and a `want(name)` block in main.
+var experimentRegistry = []struct {
+	name     string
+	extended bool
+}{
+	{"fig4", false},
+	{"fig5", false},
+	{"fig6", false},
+	{"fig7", false},
+	{"fig8", false},
+	{"fig9", false},
+	{"fig10", false},
+	{"fig11", false},
+	{"fig12", false},
+	{"tables", false},
+	{"tab-switch", false},
+	{"tab-membership", false},
+	{"ycsb-all", true},
+	{"scale-out", true},
+	{"fabric", true},
+	{"quorum-read", true},
+	{"kernel", true},
+	{"cachesweep", true},
+	{"chaos", true},
+	{"heavytraffic", true},
+	{"storagesweep", true},
+	{"batchsweep", true},
+	{"ctrlsweep", true},
+	{"readscale", true},
+}
+
+// isExtended reports whether name runs only when named (never under
+// -experiment all).
+func isExtended(name string) bool {
+	for _, e := range experimentRegistry {
+		if e.name == name {
+			return e.extended
+		}
+	}
+	return false
+}
+
+// experimentNames lists every registered name, core experiments first.
+func experimentNames() string {
+	var names []string
+	for _, extended := range []bool{false, true} {
+		for _, e := range experimentRegistry {
+			if e.extended == extended {
+				names = append(names, e.name)
+			}
+		}
+	}
+	return strings.Join(names, " ")
+}
 
 // benchEnv records where a measurement was taken; a speedup number is
 // meaningless without the core count next to it.
@@ -79,7 +139,7 @@ type kernelReport struct {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which experiment: all, fig4..fig12, tables, kernel")
+		exp      = flag.String("experiment", "all", "which experiment: all, or one of: "+experimentNames())
 		ops      = flag.Int("ops", 1000, "operations per measurement point (paper: 1000)")
 		ycsbOps  = flag.Int("ycsb-ops", 2000, "YCSB operations per client (paper: 20000)")
 		clients  = flag.Int("clients", 10, "YCSB client count (paper: 10)")
@@ -95,6 +155,8 @@ func main() {
 		ctrlOut  = flag.String("ctrl-out", "BENCH_ctrl.json", "write ctrlsweep failover results here (empty: skip)")
 		trafOut  = flag.String("traffic-out", "BENCH_traffic.json", "write heavytraffic sweep results here (empty: skip)")
 		storOut  = flag.String("storage-out", "BENCH_storage.json", "write storagesweep results here (empty: skip)")
+		batchOut = flag.String("batch-out", "BENCH_batch.json", "write batchsweep results here (empty: skip)")
+		batchHv  = flag.Int("batch-heavy-clients", 100_000, "virtual-client fleet size for the batchsweep heavytraffic arm")
 		rsOut    = flag.String("readscale-out", "BENCH_readscale.json", "write readscale sweep results here (empty: skip)")
 		storHeav = flag.Int("storage-heavy-clients", 100_000, "virtual-client fleet size for the storagesweep heavytraffic arm")
 		trafSize = flag.String("traffic-sizes", "", "comma-separated virtual-client fleet sizes for -experiment heavytraffic (default 10000,100000,1000000)")
@@ -144,14 +206,13 @@ func main() {
 
 	pr := cluster.Params{Ops: *ops, Seed: *seed, Seq: *seq || !*parallel}
 	// "all" covers the paper's figures and tables; the extended
-	// experiments (ycsb-all, scale-out, fabric) and the kernel
-	// micro-benchmarks run when named.
-	extended := map[string]bool{"ycsb-all": true, "scale-out": true, "fabric": true, "quorum-read": true, "kernel": true, "cachesweep": true, "chaos": true, "heavytraffic": true, "storagesweep": true, "ctrlsweep": true, "readscale": true}
+	// experiments and the kernel micro-benchmarks run when named (see
+	// experimentRegistry).
 	want := func(name string) bool {
 		if *exp == name {
 			return true
 		}
-		return *exp == "all" && !extended[name]
+		return *exp == "all" && !isExtended(name)
 	}
 	ran := 0
 
@@ -427,6 +488,53 @@ func main() {
 		}
 		ran++
 	}
+	if want("batchsweep") {
+		t0 := time.Now()
+		rep, err := cluster.BatchSweep(pr, *batchHv)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("batchsweep: end-to-end batching (%d clients x %d ops, %dB values, %d nodes)\n",
+			rep.Clients, rep.OpsPerClient, rep.ValueSize, rep.Nodes)
+		fmt.Printf("%-18s %5s %3s %9s %8s %9s %8s %7s %6s %7s %7s %7s %6s\n",
+			"system", "batch", "gc", "puts/s", "putp99us", "gets/s", "getp99us",
+			"commits", "mean", "coalget", "fsyncs", "coalfs", "sync/b")
+		for _, c := range rep.Cells {
+			gc := "-"
+			if c.GroupCommit {
+				gc = "on"
+			}
+			fmt.Printf("%-18s %5d %3s %9.0f %8.1f %9.0f %8.1f %7d %6.2f %7d %7d %7d %6.2f\n",
+				c.System, c.Batch, gc, c.PutTput, c.PutP99Micros, c.GetTput, c.GetP99Micros,
+				c.BatchCommits, c.MeanPutBatch, c.GetsCoalesced,
+				c.Fsyncs, c.CoalescedSyncs, c.MeanSyncBatch)
+		}
+		for _, h := range rep.Heavy {
+			fmt.Printf("%-18s clients=%d offered/s=%.0f achieved/s=%.0f p99us=%.1f timeout=%.2f%% memhit=%.1f%%\n",
+				h.System, h.Clients, h.Offered, h.Achieved, h.P99Micros,
+				100*h.TimeoutFrac, 100*h.MemHitFrac)
+		}
+		fmt.Printf("durable put speedup vs per-op fsync baseline: %.2fx\n", rep.DurableSpeedup)
+		fmt.Printf("determinism recheck: ok=%v\n", rep.DeterminismOK)
+		fmt.Printf("-- batchsweep: %.2fs wall\n\n", time.Since(t0).Seconds())
+		if *batchOut != "" {
+			report := struct {
+				Env  benchEnv `json:"env"`
+				Seed int64    `json:"seed"`
+				*cluster.BatchReport
+			}{env(), *seed, rep}
+			if err := writeJSON(*batchOut, report); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *batchOut)
+		}
+		ran++
+		if !rep.DeterminismOK {
+			stopProfiles()
+			fmt.Fprintln(os.Stderr, "nicebench: batchsweep determinism recheck failed")
+			os.Exit(1)
+		}
+	}
 	if want("readscale") {
 		t0 := time.Now()
 		rep, err := cluster.ReadScaleSweep(pr)
@@ -509,8 +617,8 @@ func main() {
 
 	if ran == 0 {
 		stopProfiles()
-		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s tables kernel ycsb-all scale-out fabric cachesweep chaos heavytraffic storagesweep ctrlsweep readscale)\n",
-			*exp, strings.Join([]string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}, " "))
+		fmt.Fprintf(os.Stderr, "nicebench: unknown experiment %q (want one of: all %s)\n",
+			*exp, experimentNames())
 		os.Exit(2)
 	}
 
@@ -533,6 +641,7 @@ var kernelGates = map[string]bool{
 	"EventChurn":    true,
 	"QueueHandoff":  true,
 	"BroadcastWake": true,
+	"GroupCommit":   true,
 }
 
 // checkKernelBaseline compares measured kernel benchmarks against a
@@ -600,6 +709,13 @@ func writeJSON(path string, v any) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// benchDisk is the disk model under the GroupCommit kernel benchmark: a
+// fixed per-write latency, matching the simulated device's write floor.
+type benchDisk struct{}
+
+func (benchDisk) ReadDisk(p *sim.Proc, bytes int)  { p.Sleep(60 * time.Microsecond) }
+func (benchDisk) WriteDisk(p *sim.Proc, bytes int) { p.Sleep(80 * time.Microsecond) }
 
 // kernelBenchmarks measures the simulation kernel and network substrate
 // hot paths via testing.Benchmark, mirroring the package benchmarks in
@@ -701,6 +817,34 @@ func kernelBenchmarks() []kernelResult {
 		if err := s.Run(); err != nil {
 			b.Fatal(err)
 		}
+	})
+	add("GroupCommit", func(b *testing.B) {
+		// Host-time cost of the storage engine's group-commit machinery: 8
+		// writers commit and Sync concurrently, so every round coalesces
+		// followers onto one leader's fsync. Gated against the baseline —
+		// the sync path runs once per durable put in every experiment.
+		const writers = 8
+		s := sim.New(1)
+		cfg := storage.DefaultConfig()
+		cfg.SnapshotEvery = 0
+		cfg.GroupCommit = true
+		cfg.MaxSyncDelay = 20 * time.Microsecond
+		e := storage.NewEngine(s, cfg, benchDisk{})
+		for w := 0; w < writers; w++ {
+			w := w
+			s.Spawn("writer", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					e.Commit(fmt.Sprintf("k%d", w), i, 64)
+					e.Sync(p)
+				}
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		s.Shutdown()
 	})
 	add("NetHostToHost", func(b *testing.B) {
 		s := sim.New(1)

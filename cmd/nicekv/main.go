@@ -26,20 +26,23 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 15, "storage nodes")
-		r        = flag.Int("r", 3, "replication level")
-		clients  = flag.Int("clients", 2, "client hosts")
-		ops      = flag.Int("ops", 1000, "operations per client")
-		size     = flag.Int("size", 1024, "object size in bytes")
-		putRatio = flag.Float64("putratio", 0.2, "fraction of operations that are puts")
-		lb       = flag.Bool("lb", false, "enable in-network get load balancing")
-		cache    = flag.Bool("cache", false, "enable the in-switch hot-key cache")
-		harmonia = flag.Bool("harmonia", false, "enable in-network conflict detection (reads of clean keys spread over all replicas)")
-		durable  = flag.Bool("durable", false, "enable the durable storage engine (WAL + snapshots + eviction)")
-		budget   = flag.Int64("mem-budget", 0, "per-node memory budget in bytes for -durable (0 = unbounded)")
-		failNode = flag.Int("fail", -1, "crash this node mid-run (and restart it later)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		trace    = flag.Int("trace", 0, "print the first N packet events (0 = off)")
+		nodes       = flag.Int("nodes", 15, "storage nodes")
+		r           = flag.Int("r", 3, "replication level")
+		clients     = flag.Int("clients", 2, "client hosts")
+		ops         = flag.Int("ops", 1000, "operations per client")
+		size        = flag.Int("size", 1024, "object size in bytes")
+		putRatio    = flag.Float64("putratio", 0.2, "fraction of operations that are puts")
+		lb          = flag.Bool("lb", false, "enable in-network get load balancing")
+		cache       = flag.Bool("cache", false, "enable the in-switch hot-key cache")
+		harmonia    = flag.Bool("harmonia", false, "enable in-network conflict detection (reads of clean keys spread over all replicas)")
+		durable     = flag.Bool("durable", false, "enable the durable storage engine (WAL + snapshots + eviction)")
+		budget      = flag.Int64("mem-budget", 0, "per-node memory budget in bytes for -durable (0 = unbounded)")
+		groupCommit = flag.Bool("groupcommit", false, "coalesce concurrent WAL fsyncs into one forced write (with -durable)")
+		batchWindow = flag.Duration("batchwindow", 0, "put accumulator gather window, e.g. 100us (0 = off)")
+		coalesce    = flag.Bool("coalesce", false, "share one store read among concurrent gets of the same key")
+		failNode    = flag.Int("fail", -1, "crash this node mid-run (and restart it later)")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		trace       = flag.Int("trace", 0, "print the first N packet events (0 = off)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,12 @@ func main() {
 	opts.Harmonia = *harmonia
 	opts.DurableStore = *durable
 	opts.StoreMemoryBudget = *budget
+	opts.GroupCommit = *groupCommit
+	if *groupCommit {
+		opts.MaxSyncDelay = 20 * time.Microsecond
+	}
+	opts.PutBatchWindow = *batchWindow
+	opts.CoalesceGets = *coalesce
 	opts.Seed = *seed
 	d := cluster.NewNICE(opts)
 	if err := d.Settle(); err != nil {
@@ -129,6 +138,31 @@ func main() {
 	}
 	pr("put", &putLat, putFail)
 	pr("get", &getLat, getFail)
+	if *batchWindow > 0 || *coalesce || *groupCommit {
+		var commits, batched, coalGets, combined int64
+		for _, n := range d.Nodes {
+			ns := n.Stats()
+			commits += ns.BatchCommits
+			batched += ns.BatchedPuts
+			coalGets += ns.GetsCoalesced
+			combined += n.Store().Stats().CombinedWrites
+		}
+		meanBatch := 0.0
+		if commits > 0 {
+			meanBatch = float64(batched) / float64(commits)
+		}
+		fmt.Printf("batching: commit batches=%d mean batch=%.2f combined prepare writes=%d coalesced gets=%d\n",
+			commits, meanBatch, combined, coalGets)
+		if *durable {
+			sc := d.StorageCounters()
+			meanSync := 0.0
+			if sc.Fsyncs > 0 {
+				meanSync = float64(sc.FsyncedRecords) / float64(sc.Fsyncs)
+			}
+			fmt.Printf("batching: fsyncs=%d coalesced fsyncs=%d records/fsync=%.2f\n",
+				sc.Fsyncs, sc.CoalescedSyncs, meanSync)
+		}
+	}
 	if d.Cache != nil {
 		fmt.Printf("cache: %s\n", d.Cache.Stats())
 	}

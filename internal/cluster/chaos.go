@@ -103,6 +103,11 @@ func chaosSystems() []chaosSystem {
 			o.StoreMemoryBudget = int64(len(chaosKeys) * chaosValSize / 2)
 			o.StoreShards = 2
 			o.StoreSnapshotEvery = 100 * time.Millisecond
+			// Group commit stays on under chaos: coalesced fsyncs must not
+			// weaken fsync-before-ack (a crash mid-batch tears the whole
+			// batch), and the durability audit proves it.
+			o.GroupCommit = true
+			o.MaxSyncDelay = 20 * time.Microsecond
 		}, weights: durableWeights()},
 		// The ctrlchain cell kills the control plane itself: the active
 		// metadata host crashes mid-run (ctrlcrash), chain replicas

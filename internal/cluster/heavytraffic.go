@@ -75,12 +75,19 @@ func RunHeavyTrafficCell(system string, clients int, seed int64, rate float64, d
 // drives the open-loop fleet against it — the shared machinery behind
 // the heavytraffic sweep and the storagesweep's heavytraffic arm.
 func runTrafficCell(opts Options, system string, clients int, rate float64, duration sim.Time) (TrafficCell, error) {
+	return runTrafficCellBatched(opts, system, clients, rate, duration, 0)
+}
+
+// runTrafficCellBatched is runTrafficCell with the engine's get batching
+// set (0/1 = unbatched); the batchsweep's heavytraffic arm uses it.
+func runTrafficCellBatched(opts Options, system string, clients int, rate float64, duration sim.Time, batch int) (TrafficCell, error) {
 	d := NewNICELeafSpine(opts, 4)
 	eng := NewTrafficEngine(d, TrafficOptions{
-		Clients:  clients,
-		Rate:     rate,
-		Duration: duration,
-		Seed:     opts.Seed,
+		Clients:   clients,
+		Rate:      rate,
+		Duration:  duration,
+		Seed:      opts.Seed,
+		BatchSize: batch,
 	})
 	var res TrafficResult
 	var loadErr error

@@ -152,6 +152,9 @@ func NewNICELeafSpine(opts Options, leaves int) *NICE {
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
 		ncfg.Storage = opts.storageConfig()
+		ncfg.CoalesceGets = opts.CoalesceGets
+		ncfg.PutBatchWindow = opts.PutBatchWindow
+		ncfg.PutBatchMax = opts.PutBatchMax
 		if d.Cache != nil {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut

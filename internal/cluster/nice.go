@@ -118,6 +118,28 @@ type Options struct {
 	// StoreNoFsync disables fsync-on-ack: commits become durable only
 	// through snapshots, trading the crash-loss window for ack latency.
 	StoreNoFsync bool
+	// GroupCommit coalesces concurrent WAL fsyncs on each node into one
+	// disk write (leader/follower group commit, DESIGN.md §16). Only
+	// meaningful with DurableStore; the durability contract
+	// (fsync-before-ack, torn-tail crash semantics) is unchanged.
+	GroupCommit bool
+	// MaxSyncDelay is the group-commit gather window: how long a sync
+	// leader lingers before sizing its write, bounding the latency a lone
+	// writer pays for batching. 0 = fire immediately (coalescing still
+	// catches callers that arrive while a write is in flight).
+	MaxSyncDelay sim.Time
+	// CoalesceGets shares one store read among concurrent gets of the
+	// same key on a node (thundering-herd suppression for hot keys). Off
+	// by default — the serving path is bit-identical without it.
+	CoalesceGets bool
+	// PutBatchWindow arms the per-partition put accumulator on every
+	// node: a primary reaching its commit point lingers this long so
+	// co-arriving commits share one fsync and one batched timestamp
+	// multicast. 0 = off (bit-identical default path).
+	PutBatchWindow sim.Time
+	// PutBatchMax caps the ops drained per accumulated commit batch
+	// (0 = node default).
+	PutBatchMax int
 }
 
 // storageConfig builds the durable-engine configuration from the
@@ -135,6 +157,8 @@ func (o Options) storageConfig() *storage.Config {
 		cfg.SnapshotEvery = o.StoreSnapshotEvery
 	}
 	cfg.FsyncOnAck = !o.StoreNoFsync
+	cfg.GroupCommit = o.GroupCommit
+	cfg.MaxSyncDelay = o.MaxSyncDelay
 	return &cfg
 }
 
@@ -396,6 +420,9 @@ func NewNICE(opts Options) *NICE {
 		ncfg.QuorumK = opts.QuorumK
 		ncfg.CPUPerOp = opts.CPUPerOp
 		ncfg.Storage = opts.storageConfig()
+		ncfg.CoalesceGets = opts.CoalesceGets
+		ncfg.PutBatchWindow = opts.PutBatchWindow
+		ncfg.PutBatchMax = opts.PutBatchMax
 		if d.Cache != nil && !probeDropInvalidate {
 			ncfg.Cache = d.Cache
 			ncfg.CacheUpdateOnPut = opts.CacheUpdateOnPut
@@ -419,6 +446,9 @@ func NewNICE(opts Options) *NICE {
 		ccfg.R = opts.R
 		ccfg.QuorumK = opts.QuorumK
 		ccfg.OpTimeout = opts.OpTimeout
+		// The dirty-set stage cannot parse batched prepares; keep MultiPut
+		// on single-op framing so every put marks its key (client.go).
+		ccfg.PerOpPrepares = opts.Harmonia
 		ccfg.RetryWait = opts.RetryWait
 		if opts.RetryMaxWait > 0 {
 			ccfg.RetryMaxWait = opts.RetryMaxWait

@@ -74,6 +74,8 @@ func (d *NICE) StorageCounters() metrics.StorageCounters {
 		out.Evictions += st.Evictions
 		out.WALAppends += st.WALAppends
 		out.Fsyncs += st.Fsyncs
+		out.FsyncedRecords += st.FsyncedRecords
+		out.CoalescedSyncs += st.CoalescedSyncs
 		out.Snapshots += st.Snapshots
 		out.Recoveries += st.Recoveries
 		out.ReplayedRecords += st.ReplayedRecords
@@ -104,6 +106,10 @@ func storageSweepOpts(system string, seed int64, ratio float64) (Options, error)
 	// Snapshot aggressively relative to the short measured window so the
 	// sweep includes checkpoint-write interference, not just fsyncs.
 	opts.StoreSnapshotEvery = 20 * time.Millisecond
+	// Group commit with a short gather window: concurrent commits on a
+	// node share fsyncs, so the sweep reports fsyncs < wal_appends.
+	opts.GroupCommit = true
+	opts.MaxSyncDelay = 20 * time.Microsecond
 	switch system {
 	case "NICEKV":
 	case "NICEKV+LB":
@@ -245,6 +251,8 @@ func StorageSweep(pr Params, heavyClients int) (*StorageReport, error) {
 		return nil, err
 	}
 	opts.DurableStore = true
+	opts.GroupCommit = true
+	opts.MaxSyncDelay = 20 * time.Microsecond
 	// The traffic engine preloads 4096 records x 512 B, replicated R=3
 	// over 6 nodes = 1 MiB per node; budget half of it so the fleet's
 	// zipfian tail constantly promotes and evicts.

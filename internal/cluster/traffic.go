@@ -59,6 +59,14 @@ type TrafficOptions struct {
 	Tick      sim.Time // arrival batch width (default 100µs)
 	OpTimeout sim.Time // per-request drop deadline (default 250ms)
 	Seed      int64
+	// BatchSize, when > 1, packs a tick's co-arriving gets for the same
+	// destination node into BatchGetRequests of up to this many ops
+	// (DESIGN.md §16). Destinations fill in deterministic first-seen
+	// order; partial batches flush at the end of the tick. Nodes reply
+	// per op, so the reply path, timeout reaping and slot recycling are
+	// oblivious to batching. 1 (or 0) = one datagram per get,
+	// bit-identical to prior releases.
+	BatchSize int
 }
 
 func (o *TrafficOptions) defaults() {
@@ -83,6 +91,10 @@ func (o *TrafficOptions) defaults() {
 	}
 	if o.ValueSize <= 0 {
 		o.ValueSize = 512
+	}
+	// One batched datagram must fit the transport MTU.
+	if o.BatchSize > core.MaxBatchedGets {
+		o.BatchSize = core.MaxBatchedGets
 	}
 }
 
@@ -139,8 +151,26 @@ type TrafficEngine struct {
 	outHead int
 	outLen  int
 
+	// pend accumulates the current tick's batched gets per destination
+	// node (BatchSize > 1); touched lists the destinations with a
+	// non-empty pending batch in first-seen order, keeping the flush
+	// deterministic.
+	pend    map[netsim.IP]*gwBatch
+	touched []*gwBatch
+
 	issued, completed, timedOut, notFound int64
 	lat                                   *metrics.Histogram
+}
+
+// gwBatch is one destination node's pending batched gets. The gateway
+// and source of the first op in the batch frame the datagram; nothing
+// routes on the virtual source, so sharing it across the batch's ops is
+// as harmless as the per-division synthesis itself.
+type gwBatch struct {
+	addr netsim.IP
+	gi   uint8
+	src  netsim.IP
+	reqs []*core.GetRequest
 }
 
 // NewTrafficEngine wires the engine to a deployment: binds each gateway's
@@ -287,6 +317,7 @@ func (e *TrafficEngine) Run(p *sim.Proc) TrafficResult {
 	for p.Now() < deadline {
 		now := p.Now()
 		e.arr.Tick(func(c int32) { e.issue(now, c) })
+		e.flushBatches()
 		e.reap(now)
 		p.Sleep(e.opts.Tick)
 	}
@@ -327,9 +358,58 @@ func (e *TrafficEngine) issue(now sim.Time, c int32) {
 	sl.req.ReqID = uint64(si+1)<<32 | uint64(sl.gen)
 	sl.req.Client = e.gwIP[gi]
 	sl.req.ClientPort = TrafficPort
-	e.socks[gi].SendToFrom(e.src[c], e.addr[k], DataPort, &sl.req, core.GetReqSize)
+	if e.opts.BatchSize > 1 {
+		e.enqueueBatched(c, gi, e.addr[k], &sl.req)
+	} else {
+		e.socks[gi].SendToFrom(e.src[c], e.addr[k], DataPort, &sl.req, core.GetReqSize)
+	}
 	e.outPush(int64(si)<<32 | int64(sl.gen))
 	e.issued++
+}
+
+// enqueueBatched adds a get to its destination's pending batch, flushing
+// when the batch fills. Full batches leave within the tick; stragglers
+// wait for flushBatches at the tick boundary, so a batched get is
+// delayed at most one Tick relative to the unbatched arm.
+func (e *TrafficEngine) enqueueBatched(c int32, gi uint8, addr netsim.IP, req *core.GetRequest) {
+	if e.pend == nil {
+		e.pend = make(map[netsim.IP]*gwBatch)
+	}
+	b := e.pend[addr]
+	if b == nil {
+		b = &gwBatch{addr: addr}
+		e.pend[addr] = b
+	}
+	if len(b.reqs) == 0 {
+		b.gi = gi
+		b.src = e.src[c]
+		e.touched = append(e.touched, b)
+	}
+	b.reqs = append(b.reqs, req)
+	if len(b.reqs) >= e.opts.BatchSize {
+		e.sendBatch(b)
+	}
+}
+
+// flushBatches sends every partial batch the tick left behind.
+func (e *TrafficEngine) flushBatches() {
+	for _, b := range e.touched {
+		if len(b.reqs) > 0 {
+			e.sendBatch(b)
+		}
+	}
+	e.touched = e.touched[:0]
+}
+
+// sendBatch emits one BatchGetRequest. The message must own its request
+// slice — b.reqs is recycled for the destination's next batch while the
+// datagram is still in flight.
+func (e *TrafficEngine) sendBatch(b *gwBatch) {
+	reqs := make([]*core.GetRequest, len(b.reqs))
+	copy(reqs, b.reqs)
+	e.socks[b.gi].SendToFrom(b.src, b.addr, DataPort,
+		&core.BatchGetRequest{Reqs: reqs}, core.BatchHeaderSize+len(reqs)*core.GetReqSize)
+	b.reqs = b.reqs[:0]
 }
 
 // handleReply completes the slot a reply names, unless it already timed

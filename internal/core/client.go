@@ -28,6 +28,14 @@ type ClientConfig struct {
 	RetryWait    sim.Time
 	RetryMaxWait sim.Time // back-off cap (0 = 8x RetryWait)
 	MaxRetries   int
+	// PerOpPrepares makes MultiPut send one prepare multicast per op
+	// instead of packing a partition's ops into a BatchPutRequest. Set on
+	// harmonia clusters: the switch's dirty-set parser recognizes only
+	// single-op prepares, and a put it cannot see never marks its key
+	// dirty — a clean-read rewrite could then hit a replica the prepare
+	// has not reached. Gets are unaffected (batched gets bypass the
+	// rewrite stage, which costs spread, never safety).
+	PerOpPrepares bool
 }
 
 // DefaultClientConfig fills the protocol timing the evaluation uses:
@@ -174,11 +182,17 @@ func (c *Client) backoff(p *sim.Proc, attempt int) {
 // put, which the replicas deduplicate, so a put retried after a partial
 // commit cannot apply twice.
 func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, error) {
-	start := p.Now()
 	c.seq++
-	id := c.seq // c.seq advances under concurrent operations
-	last := "timeout"
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+	return c.putAttempts(p, p.Now(), key, value, size, c.seq, 0, "timeout")
+}
+
+// putAttempts runs delivery attempts [first, MaxRetries] of the logical
+// put identified by id. MultiPut re-enters here (first > 0) for ops its
+// batched attempt did not acknowledge: the retries keep the batch's
+// ClientSeq, so the replicas' dedup records converge them on the batch's
+// commit wherever it did land.
+func (c *Client) putAttempts(p *sim.Proc, start sim.Time, key string, value any, size int, id uint64, first int, last string) (OpResult, error) {
+	for attempt := first; attempt <= c.cfg.MaxRetries; attempt++ {
 		// A fresh request per attempt: messages travel by reference in the
 		// sim, and each attempt must carry its own number so a replica can
 		// tell a stale abort from one aimed at the prepare it holds.
@@ -230,16 +244,22 @@ func (c *Client) Put(p *sim.Proc, key string, value any, size int) (OpResult, er
 // blocking forever. The request ID is stable across attempts, so a late
 // reply to an earlier attempt satisfies the operation.
 func (c *Client) Get(p *sim.Proc, key string) (OpResult, error) {
-	start := p.Now()
 	c.seq++
-	id := c.seq
+	return c.getAttempts(p, p.Now(), key, c.seq, 0)
+}
+
+// getAttempts runs delivery attempts [first, MaxRetries] of the read
+// identified by id. MultiGet re-enters here (first > 0) for reads its
+// batched datagram left unanswered; the stable id keeps a late reply to
+// the batch attempt acceptable.
+func (c *Client) getAttempts(p *sim.Proc, start sim.Time, key string, id uint64, first int) (OpResult, error) {
 	req := &GetRequest{
 		Key:        key,
 		ReqID:      id,
 		Client:     c.stack.IP(),
 		ClientPort: c.cfg.ReplyPort,
 	}
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+	for attempt := first; attempt <= c.cfg.MaxRetries; attempt++ {
 		f := sim.NewFuture[any](c.stack.Sim())
 		c.pending[id] = f
 		r := *req // per-attempt copy: the retry counter steers harmonia's replica hash

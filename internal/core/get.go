@@ -122,7 +122,60 @@ func (n *Node) replyFromStore(p *sim.Proc, req *GetRequest, replicaRouted bool) 
 			n.stats.GetsServedAsReplica++
 		}
 	}
+	n.serveRead(p, req)
+}
+
+// readState is one in-flight coalescable store read (CoalesceGets):
+// gets arriving while the leader's charged read is on the disk enqueue
+// here and are answered from its result.
+type readState struct {
+	waiters []*GetRequest
+}
+
+// serveRead performs the store read for a get that passed every
+// consistency gate, and replies. With CoalesceGets, concurrent reads of
+// the same key share one charged store read: the first becomes the
+// leader, later arrivals piggyback and are answered by the leader's
+// reply fan-out.
+func (n *Node) serveRead(p *sim.Proc, req *GetRequest) {
+	if !n.cfg.CoalesceGets {
+		obj, ok := n.store.Get(p, req.Key)
+		n.sendStoreReply(p, req, obj, ok)
+		return
+	}
+	if rs := n.reads[req.Key]; rs != nil {
+		n.stats.GetsCoalesced++
+		rs.waiters = append(rs.waiters, req)
+		return
+	}
+	rs := &readState{}
+	n.reads[req.Key] = rs
+	gen := n.restartGen
 	obj, ok := n.store.Get(p, req.Key)
+	if n.reads[req.Key] == rs {
+		delete(n.reads, req.Key)
+	}
+	if gen != n.restartGen {
+		// Crashed while the read was on the disk: this incarnation must not
+		// answer for the reborn node. The waiters go unanswered too — their
+		// clients retry, same as any handler that blocked across a crash.
+		return
+	}
+	// Commits may have landed while the read slept on the disk. Refresh
+	// from memory (free) so the shared answer carries the newest version
+	// committed before this instant: every coalesced get's invocation
+	// precedes the reply, so one linearization point serves them all.
+	if cur, have := n.store.Peek(req.Key); have {
+		obj, ok = cur, true
+	}
+	n.sendStoreReply(p, req, obj, ok)
+	for _, w := range rs.waiters {
+		n.sendStoreReply(p, w, obj, ok)
+	}
+}
+
+// sendStoreReply answers one get from a completed store read.
+func (n *Node) sendStoreReply(p *sim.Proc, req *GetRequest, obj *kvstore.Object, ok bool) {
 	if Debug {
 		ver := uint64(0)
 		if ok {

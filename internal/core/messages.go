@@ -9,6 +9,7 @@ package core
 import (
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // Wire-size constants for small protocol messages.
@@ -19,11 +20,27 @@ const (
 	getReqSize    = 64  // get request datagram
 	replyOverhead = 64  // reply framing on the stream
 	ctrlMsgSize   = 128 // node-to-controller datagrams
+	batchHeader   = 32  // shared framing of a batched message (§16)
 )
+
+// Batched datagrams must fit the transport MTU (1400 bytes); senders
+// fragment above these per-message item bounds.
+const (
+	maxTsItemsPerMsg = (transport.MTU - batchHeader) / tsMsgSize  // 14
+	maxGetReqsPerMsg = (transport.MTU - batchHeader) / getReqSize // 21
+)
+
+// MaxBatchedGets is the most get requests one batched datagram can
+// carry, exported for traffic generators that pack their own batches.
+const MaxBatchedGets = maxGetReqsPerMsg
 
 // GetReqSize is the wire size of one get request datagram, exported for
 // traffic generators that craft GetRequests without a full Client.
 const GetReqSize = getReqSize
+
+// BatchHeaderSize is the shared framing overhead of a batched message,
+// exported for the same traffic generators.
+const BatchHeaderSize = batchHeader
 
 // reqKey identifies one client operation attempt; it keys the primary's
 // and secondaries' in-flight put state.
@@ -118,6 +135,53 @@ type GetReply struct {
 	// switch-cache replies carry it too, so stale cache reads are
 	// checkable.
 	Ver uint64
+}
+
+// Batched pipeline (DESIGN.md §16). Batching changes the framing of the
+// prepare multicast, the commit multicast and the get datagram — never
+// the per-operation protocol state: every op inside a batch keeps its
+// own reqKey, attempt counter, dedup record and abort scope, so the
+// retry, resolution and recovery machinery is oblivious to batching.
+
+// BatchPutRequest is a client's batched prepare: MultiPut packs the ops
+// headed for one partition into a single multicast transfer. Receivers
+// explode it into independent per-op put handlers — the batch exists
+// only on the wire.
+type BatchPutRequest struct {
+	Ops []*PutRequest
+}
+
+// BatchTsItem is one operation's slice of a batched commit multicast;
+// it carries exactly the fields of a TsMsg.
+type BatchTsItem struct {
+	Req     reqKey
+	Key     string
+	Ts      kvstore.Timestamp
+	Abort   bool
+	Attempt int
+	Dup     bool
+}
+
+// BatchTsMsg is the primary's batched commit: the put accumulator packs
+// the timestamps of co-arriving commits for one partition into a single
+// multicast. Receivers route each item to its per-op put state (or the
+// late-timestamp path), exactly as if it had arrived as its own TsMsg.
+type BatchTsMsg struct {
+	Items []BatchTsItem
+}
+
+// asTsMsg expands one item back into the equivalent single-op message.
+func (it *BatchTsItem) asTsMsg() *TsMsg {
+	return &TsMsg{Req: it.Req, Key: it.Key, Ts: it.Ts, Abort: it.Abort, Attempt: it.Attempt, Dup: it.Dup}
+}
+
+// BatchGetRequest is a client's batched read: MultiGet (and the traffic
+// engine's batched arms) packs the gets headed for one node into a
+// single datagram. The node serves each embedded request independently
+// and replies per op, so retries and duplicate-get coalescing work
+// unchanged.
+type BatchGetRequest struct {
+	Reqs []*GetRequest
 }
 
 // ForwardedGet is a handoff node passing a get it cannot serve to the

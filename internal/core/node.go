@@ -60,6 +60,21 @@ type NodeConfig struct {
 	// sharded engine (internal/storage): crash drops unfsynced WAL state
 	// and recovery really replays the log instead of resurrecting memory.
 	Storage *storage.Config
+	// CoalesceGets shares one store read among concurrent gets of the
+	// same key on this node (thundering-herd suppression, DESIGN.md §16):
+	// gets that pass the consistency gates while another get's store read
+	// is in flight ride that read and are answered from its result. Off
+	// by default — the serving path is bit-identical without it.
+	CoalesceGets bool
+	// PutBatchWindow, when > 0, arms the per-partition put accumulator:
+	// a primary reaching its commit point lingers this long so
+	// co-arriving commits for the same partition are drained together —
+	// one timestamp-assignment pass, one fsync, one batched timestamp
+	// multicast. 0 = off (bit-identical default path).
+	PutBatchWindow sim.Time
+	// PutBatchMax caps the ops drained per accumulated commit batch
+	// (0 = 64).
+	PutBatchMax int
 }
 
 // DefaultNodeConfig fills the timing knobs.
@@ -92,6 +107,10 @@ type NodeStats struct {
 	// RecoveryFetchFails counts sync rounds that left at least one view
 	// member unanswered (the fetch is retried until every member replies).
 	RecoveryFetchFails int64
+	// Batching counters (DESIGN.md §16).
+	GetsCoalesced int64 // gets answered by riding another get's store read
+	BatchCommits  int64 // accumulator batches drained as primary
+	BatchedPuts   int64 // puts committed through those batches
 }
 
 // putState tracks one in-flight put at a participant.
@@ -152,6 +171,16 @@ type Node struct {
 	// supersedes the entry or the handoff stint ends.
 	staleHandoff map[int]map[string]bool
 
+	// reads tracks in-flight coalescable store reads by key
+	// (CoalesceGets): the first get to reach the store becomes the read
+	// leader, later arrivals park here and are answered from its result.
+	reads map[string]*readState
+
+	// batches holds the per-partition open commit batch (PutBatchWindow):
+	// puts reaching the commit point while a batch leader lingers join it
+	// instead of committing alone.
+	batches map[int]*putBatch
+
 	// committed remembers the versions of recently committed puts by
 	// client quadruplet, so a retry of an already-committed put converges
 	// on the original version instead of re-running 2PC (which could roll
@@ -186,6 +215,8 @@ func NewNode(stack *transport.Stack, cfg NodeConfig) *Node {
 		cpu:          sim.NewResource(stack.Sim()),
 		committed:    make(map[reqKey]kvstore.Timestamp),
 		staleHandoff: make(map[int]map[string]bool),
+		reads:        make(map[string]*readState),
+		batches:      make(map[int]*putBatch),
 	}
 }
 
@@ -566,20 +597,21 @@ func (n *Node) dataLoop(p *sim.Proc) {
 				n.orphan(m.Req).ack2[m.From] = true
 			}
 		case *TsMsg:
-			ps := n.puts[m.Req]
-			if ps != nil && m.Abort && m.Attempt != ps.req.Attempt {
-				// An abort from a previous delivery attempt of the same
-				// operation must not reach the live attempt — its Ack1 may
-				// already count toward a commit. It may still name a
-				// leftover prepared record, which lateTs attempt-matches.
-				n.lateTs(m)
-			} else if ps != nil {
-				if !ps.ts.Done() {
-					ps.ts.Set(m)
-				}
-			} else {
-				n.lateTs(m)
+			n.deliverTs(m)
+		case *BatchTsMsg:
+			// A batched commit is its items: each routes to its own put
+			// state (or the late-timestamp path) exactly as if it had
+			// arrived as a single TsMsg.
+			for i := range m.Items {
+				n.deliverTs(m.Items[i].asTsMsg())
 			}
+		case *BatchGetRequest:
+			reqs := m.Reqs
+			n.s.Spawn(n.name("bget"), func(p *sim.Proc) {
+				for _, r := range reqs {
+					n.handleGet(p, r, false, false)
+				}
+			})
 		case *CommitOrder:
 			n.applyCommitOrder(m)
 		case *AbortOrder:
@@ -587,6 +619,26 @@ func (n *Node) dataLoop(p *sim.Proc) {
 		case *ResolveRequest:
 			n.maybeResolve(m.Partition, nil)
 		}
+	}
+}
+
+// deliverTs routes a timestamp message to its in-flight put state, or to
+// the late-timestamp path when the handler is gone (or the abort names a
+// different delivery attempt than the live one).
+func (n *Node) deliverTs(m *TsMsg) {
+	ps := n.puts[m.Req]
+	if ps != nil && m.Abort && m.Attempt != ps.req.Attempt {
+		// An abort from a previous delivery attempt of the same
+		// operation must not reach the live attempt — its Ack1 may
+		// already count toward a commit. It may still name a
+		// leftover prepared record, which lateTs attempt-matches.
+		n.lateTs(m)
+	} else if ps != nil {
+		if !ps.ts.Done() {
+			ps.ts.Set(m)
+		}
+	} else {
+		n.lateTs(m)
 	}
 }
 
@@ -635,18 +687,26 @@ func (n *Node) registerPut(req *PutRequest) *putState {
 	return ps
 }
 
-// mcastLoop receives put transfers and spawns a handler per put.
+// mcastLoop receives put transfers and spawns a handler per put. A
+// batched prepare exists only on the wire: it is exploded here into
+// independent per-op handlers, so locking, dedup, aborts and resolution
+// never see the batch.
 func (n *Node) mcastLoop(p *sim.Proc) {
 	for {
 		tr, ok := n.mcast.Recv(p)
 		if !ok {
 			return
 		}
-		req, ok := tr.Data.(*PutRequest)
-		if !ok {
-			continue
+		switch m := tr.Data.(type) {
+		case *PutRequest:
+			req := m
+			n.s.Spawn(n.name("put"), func(p *sim.Proc) { n.handlePut(p, req) })
+		case *BatchPutRequest:
+			for _, req := range m.Ops {
+				req := req
+				n.s.Spawn(n.name("put"), func(p *sim.Proc) { n.handlePut(p, req) })
+			}
 		}
-		n.s.Spawn(n.name("put"), func(p *sim.Proc) { n.handlePut(p, req) })
 	}
 }
 
@@ -696,6 +756,11 @@ func (n *Node) Restart() {
 	n.views = make(map[int]*controller.PartitionView)
 	n.resolving = make(map[int]bool)
 	n.syncing = make(map[int]bool)
+	// Coalescing/batching state dies with the crash. Procs still parked
+	// inside a read leader or batch leader observe the generation bump and
+	// abandon; fresh ops must not join their corpses.
+	n.reads = make(map[string]*readState)
+	n.batches = make(map[int]*putBatch)
 	// A handoff stint ends with the crash: the directory missed every
 	// write while this node was down, so serving it in a later stint
 	// would resurrect stale versions. The recovering owner does not need

@@ -80,8 +80,16 @@ func (n *Node) handlePut(p *sim.Proc, req *PutRequest) {
 		return // the granted lock died with the crash; don't touch the store
 	}
 	obj := &kvstore.Object{Key: req.Key, Value: req.Value, Size: req.Size}
-	n.store.AppendLog(p, kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key(), Attempt: req.Attempt})
-	n.store.ChargeWrite(p, req.Size)
+	rec := kvstore.LogRecord{Key: req.Key, Size: req.Size, Obj: obj, Tag: req.key(), Attempt: req.Attempt}
+	if n.cfg.PutBatchWindow > 0 {
+		// Batched prepare (DESIGN.md §16): co-arriving prepares on this
+		// replica share one forced disk write for their log records and
+		// object bytes, mirroring the batched commit on the primary.
+		n.store.AppendLogCombined(p, rec, n.cfg.PutBatchWindow)
+	} else {
+		n.store.AppendLog(p, rec)
+		n.store.ChargeWrite(p, req.Size)
+	}
 	if n.stale(ps) {
 		// Crashed while forcing the WAL record: withdraw it unless a
 		// post-restart retry already replaced it with its own.
@@ -257,31 +265,43 @@ func (n *Node) primaryCommit(p *sim.Proc, v *controller.PartitionView, req *PutR
 		return
 	}
 
-	n.primarySeq++
-	ts := kvstore.Timestamp{
-		Primary:    n.cfg.Addr.IP,
-		PrimarySeq: n.primarySeq,
-		Client:     req.Client,
-		ClientSeq:  req.ClientSeq,
-	}
-	obj.Version = ts
-	n.applyLocal(part, obj, false)
-	n.store.DropLog(req.Key)
-	n.store.Unlock(req.Key)
-	n.stats.Puts++
-	n.stats.PutsPrimary++
+	var ts kvstore.Timestamp
+	if n.cfg.PutBatchWindow > 0 {
+		// Accumulated commit point (batch.go): timestamp assignment, the
+		// local apply, the fsync and the timestamp multicast happen inside
+		// the partition's batch drain; this handler resumes holding its
+		// committed timestamp and collects its own second-phase acks.
+		var ok bool
+		if ts, ok = n.batchCommit(p, v, req, ps, obj); !ok {
+			return
+		}
+	} else {
+		n.primarySeq++
+		ts = kvstore.Timestamp{
+			Primary:    n.cfg.Addr.IP,
+			PrimarySeq: n.primarySeq,
+			Client:     req.Client,
+			ClientSeq:  req.ClientSeq,
+		}
+		obj.Version = ts
+		n.applyLocal(part, obj, false)
+		n.store.DropLog(req.Key)
+		n.store.Unlock(req.Key)
+		n.stats.Puts++
+		n.stats.PutsPrimary++
 
-	// Durable engines fsync the commit record before anything downstream
-	// learns of the commit (the timestamp multicast and, transitively,
-	// the client ack): an acknowledged put must survive this node's
-	// crash. Free in legacy mode.
-	n.store.Sync(p)
-	if n.stale(ps) {
-		return
-	}
+		// Durable engines fsync the commit record before anything
+		// downstream learns of the commit (the timestamp multicast and,
+		// transitively, the client ack): an acknowledged put must survive
+		// this node's crash. Free in legacy mode.
+		n.store.Sync(p)
+		if n.stale(ps) {
+			return
+		}
 
-	// Commit phase: multicast the timestamp to the replica set.
-	n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts, Attempt: req.Attempt}, tsMsgSize)
+		// Commit phase: multicast the timestamp to the replica set.
+		n.data.SendTo(v.GroupIP, n.cfg.Addr.DataPort, &TsMsg{Req: req.key(), Key: req.Key, Ts: ts, Attempt: req.Attempt}, tsMsgSize)
+	}
 
 	if !n.waitAcks(p, ps, ps.ack2, need, want) {
 		if n.stale(ps) {

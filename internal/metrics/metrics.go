@@ -204,6 +204,8 @@ type StorageCounters struct {
 	Evictions       int64 // memory-tier residents demoted to disk-only
 	WALAppends      int64 // commit records appended
 	Fsyncs          int64 // forced WAL writes
+	FsyncedRecords  int64 // records made durable by those writes
+	CoalescedSyncs  int64 // sync calls satisfied by another caller's fsync
 	Snapshots       int64 // complete snapshots installed
 	Recoveries      int64 // crash recoveries completed
 	ReplayedRecords int64 // WAL records replayed across recoveries

@@ -54,6 +54,16 @@ type Config struct {
 	// FsyncOnAck makes Sync force the WAL tail; when false Sync is a
 	// no-op and commits become durable only through snapshots.
 	FsyncOnAck bool
+	// GroupCommit coalesces concurrent Sync callers into one fsync: the
+	// first caller leads the disk write and later arrivals whose records
+	// it covers piggyback on the result instead of forcing their own.
+	GroupCommit bool
+	// MaxSyncDelay is how long a group-commit leader lingers before
+	// sizing its write, letting co-arriving commits join the batch. It
+	// bounds the added latency: a lone writer pays at most this delay
+	// and then fsyncs alone. 0 = fire immediately (coalescing still
+	// happens for callers that arrive while a write is in flight).
+	MaxSyncDelay sim.Time
 	// SnapshotEvery is the snapshot + log-truncate period (0 = never).
 	SnapshotEvery sim.Time
 	// WALRecordBytes is the on-disk size charged per WAL record.
@@ -92,6 +102,9 @@ type Stats struct {
 	LostRecords    int64 // unfsynced tail records dropped by crashes
 	TornRecords    int64 // crashes that tore an in-flight fsync
 
+	CoalescedSyncs   int64 // Sync calls satisfied by another caller's fsync
+	SyncedBatchBytes int64 // bytes written by group-commit fsync batches
+
 	Snapshots        int64 // complete snapshots installed
 	SnapshotsAborted int64 // snapshot writes abandoned by a crash
 	SnapshotBytes    int64 // bytes of the last complete snapshot
@@ -104,6 +117,15 @@ type Stats struct {
 	Resident   int   // keys resident in the memory tier
 	MemBytes   int64 // bytes resident in the memory tier
 	WALRecords int   // live WAL records (since the last truncate)
+}
+
+// MeanSyncBatch returns the mean records made durable per fsync — the
+// group-commit batching factor (1.0 when every Sync forces its own).
+func (s Stats) MeanSyncBatch() float64 {
+	if s.Fsyncs == 0 {
+		return 0
+	}
+	return float64(s.FsyncedRecords) / float64(s.Fsyncs)
 }
 
 // MemHitRatio returns memory-tier hits over all gets that found the key.
@@ -181,6 +203,12 @@ type Engine struct {
 	durableLSN uint64
 	syncing    int // Sync calls currently sleeping in the disk write
 
+	// Group commit: while a leader gathers or writes, syncActive is set
+	// and followers park on syncDone until the batch lands (or a crash
+	// tears it — Crash broadcasts too, and the gen fence sorts them out).
+	syncActive bool
+	syncDone   *sim.Cond
+
 	snap snapshot
 
 	// gen counts crashes; procs sleeping in disk time capture it and
@@ -202,7 +230,7 @@ func NewEngine(s *sim.Simulator, cfg Config, disk DiskTier) *Engine {
 	if cfg.SnapshotEntryBytes <= 0 {
 		cfg.SnapshotEntryBytes = DefaultConfig().SnapshotEntryBytes
 	}
-	e := &Engine{s: s, cfg: cfg, disk: disk}
+	e := &Engine{s: s, cfg: cfg, disk: disk, syncDone: sim.NewCond(s)}
 	if cfg.MemoryBudget > 0 {
 		e.shardBudget = (cfg.MemoryBudget + int64(cfg.Shards) - 1) / int64(cfg.Shards)
 	}
@@ -427,24 +455,97 @@ func (e *Engine) Keys() []string {
 // is in flight are not covered; a crash during the write tears it and
 // the records stay volatile (the durable LSN only advances here, after
 // the write survives).
+//
+// With GroupCommit enabled, concurrent Sync callers coalesce: the first
+// caller leads — optionally lingering MaxSyncDelay so co-arriving
+// commits join the batch — and issues one disk write covering every
+// record appended up to that point; followers park until a covering
+// fsync lands and never touch the disk themselves. The durability
+// contract is identical either way: Sync returns only once every record
+// appended before the call is on disk (or the engine crashed, tearing
+// the whole in-flight batch — torn followers return non-durable exactly
+// like a torn solo fsync, and callers' generation fences catch it).
 func (e *Engine) Sync(p *sim.Proc) {
 	target := e.tailLSN()
 	if e.durableLSN >= target {
 		return
 	}
-	pending := int(target - e.durableLSN)
+	if !e.cfg.GroupCommit {
+		pending := int(target - e.durableLSN)
+		gen := e.gen
+		e.syncing++
+		e.disk.WriteDisk(p, pending*e.cfg.WALRecordBytes)
+		e.syncing--
+		if gen != e.gen {
+			return // crashed mid-fsync: the records were torn, not written
+		}
+		if target > e.durableLSN {
+			e.stats.Fsyncs++
+			e.stats.FsyncedRecords += int64(target - e.durableLSN)
+			e.durableLSN = target
+		}
+		return
+	}
 	gen := e.gen
+	led := false
+	for e.durableLSN < target {
+		if e.syncActive {
+			// A leader is gathering or writing. If its batch covers our
+			// records we piggyback on the result; if not (we appended after
+			// it sized the write) we still wait it out and contend to lead
+			// the next batch.
+			e.syncDone.Wait(p)
+			if gen != e.gen {
+				return // crashed: the batch we were riding was torn
+			}
+			continue
+		}
+		led = true
+		e.leadSync(p)
+		if gen != e.gen {
+			return
+		}
+	}
+	if !led {
+		e.stats.CoalescedSyncs++
+	}
+}
+
+// leadSync runs one group-commit batch: linger MaxSyncDelay so commits
+// racing in can join, size the write to every record then pending, and
+// charge one disk write for the whole batch. Only called when no batch
+// is active; exactly one leader exists at a time.
+func (e *Engine) leadSync(p *sim.Proc) {
+	e.syncActive = true
+	gen := e.gen
+	if d := e.cfg.MaxSyncDelay; d > 0 {
+		p.Sleep(d)
+		if gen != e.gen {
+			return // crashed during the gather window; Crash reset the batch
+		}
+	}
+	target := e.tailLSN()
+	if target <= e.durableLSN {
+		// A snapshot covered everything while we gathered.
+		e.syncActive = false
+		e.syncDone.Broadcast()
+		return
+	}
+	bytes := int(target-e.durableLSN) * e.cfg.WALRecordBytes
 	e.syncing++
-	e.disk.WriteDisk(p, pending*e.cfg.WALRecordBytes)
+	e.disk.WriteDisk(p, bytes)
 	e.syncing--
 	if gen != e.gen {
-		return // crashed mid-fsync: the records were torn, not written
+		return // crashed mid-fsync: the whole batch was torn, not written
 	}
+	e.syncActive = false
 	if target > e.durableLSN {
 		e.stats.Fsyncs++
 		e.stats.FsyncedRecords += int64(target - e.durableLSN)
+		e.stats.SyncedBatchBytes += int64(bytes)
 		e.durableLSN = target
 	}
+	e.syncDone.Broadcast()
 }
 
 // Durable reports whether every committed record is covered by an fsync
@@ -466,6 +567,11 @@ func (e *Engine) Crash() {
 		}
 	}
 	e.wal = e.wal[:e.durableLSN-e.walBase]
+	// Tear down any group-commit batch: the leader (gathering or mid
+	// write) and its followers all wake, see the generation moved, and
+	// return non-durable.
+	e.syncActive = false
+	e.syncDone.Broadcast()
 	// The in-memory view dies with the process; Recover rebuilds it.
 	e.resetShards()
 }
